@@ -1,0 +1,56 @@
+"""Section 7: what happens on graphs that are *not* scale-free?
+
+The paper's guarantees assume a power-law degree distribution; for
+road-like networks it suggests the algorithms still work with any
+total ranking, but degree ranking loses its punch and a
+shortest-path-hitting heuristic should be used instead.
+
+This example quantifies that story by building indexes over
+
+* a GLP scale-free graph, and
+* a grid "road network" of comparable size,
+
+under degree ranking, the sampled-betweenness heuristic ranking
+(Section 7's suggestion), and a random-ranking control.
+"""
+
+from repro import HopDoublingIndex
+from repro.graphs import glp_graph, grid_graph
+from repro.graphs.stats import rank_exponent
+
+
+def profile(name: str, graph) -> None:
+    gamma = rank_exponent(graph)
+    print(f"\n{name}: {graph}")
+    print(f"  rank exponent {gamma:.2f} "
+          f"({'scale-free-ish' if gamma < -0.5 else 'NOT scale-free'})")
+    for strategy in ("degree", "betweenness", "random"):
+        index = HopDoublingIndex.build(graph, ranking=strategy)
+        stats = index.stats()
+        print(
+            f"  {strategy:>12} ranking: {stats.total_entries:>7} entries "
+            f"(avg {stats.avg_label_size:.1f}/vertex, "
+            f"{index.num_iterations} iterations)"
+        )
+
+
+def main() -> None:
+    scale_free = glp_graph(900, m=1.6, seed=3)
+    road = grid_graph(30, 30)
+
+    profile("scale-free (GLP)", scale_free)
+    profile("road-like (30x30 grid)", road)
+
+    print(
+        "\nTakeaways (matching Section 7):\n"
+        "  * on the scale-free graph, degree ranking is already near\n"
+        "    optimal — hubs hit most shortest paths;\n"
+        "  * on the grid there are no hubs: degree ranking degenerates,\n"
+        "    while the shortest-path-hitting heuristic recovers much of\n"
+        "    the gap;\n"
+        "  * correctness never depends on the ranking — only size/speed."
+    )
+
+
+if __name__ == "__main__":
+    main()

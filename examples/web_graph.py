@@ -1,0 +1,67 @@
+"""Directed web-graph querying: asymmetric distances and reachability.
+
+Web graphs (the paper's wiki*/Baidu datasets) are directed: the
+distance from a page to another differs from the reverse.  The index
+keeps two labels per page (Lin/Lout) and the paper ranks pages by the
+product of in- and out-degree (Section 8).  This example shows:
+
+* asymmetric distance queries;
+* reachability testing (finite distance);
+* how the ranking strategy affects the index size on directed graphs.
+"""
+
+from repro import HopDoublingIndex, INF
+from repro.graphs import glp_graph
+
+
+def main() -> None:
+    web = glp_graph(1_500, m=2.0, seed=11, directed=True)
+    print(f"web graph: {web}")
+
+    # The paper's preferred directed ranking: in-degree x out-degree.
+    index = HopDoublingIndex.build(web, ranking="inout")
+    print(
+        f"index: {index.stats().total_entries} entries, "
+        f"{index.num_iterations} iterations"
+    )
+
+    # --- asymmetric distances ------------------------------------------
+    print("\nasymmetric page distances:")
+    shown = 0
+    for s in range(web.num_vertices):
+        for t in range(s + 1, web.num_vertices):
+            d_st = index.query(s, t)
+            d_ts = index.query(t, s)
+            if d_st != d_ts and d_st != INF and d_ts != INF:
+                print(f"  dist({s}->{t}) = {d_st:g}   dist({t}->{s}) = {d_ts:g}")
+                shown += 1
+                if shown >= 5:
+                    break
+        if shown >= 5:
+            break
+
+    # --- reachability --------------------------------------------------
+    sample = [(1, 1200), (1200, 1), (42, 77), (1499, 0)]
+    print("\nreachability:")
+    for s, t in sample:
+        ok = index.is_reachable(s, t)
+        print(f"  {s} -> {t}: {'reachable' if ok else 'NOT reachable'}")
+
+    # --- ranking strategies on directed graphs ----------------------------
+    print("\nindex size by ranking strategy (directed graphs):")
+    for strategy in ("inout", "degree", "random"):
+        idx = HopDoublingIndex.build(web, ranking=strategy)
+        stats = idx.stats()
+        print(
+            f"  {strategy:>8}: {stats.total_entries:>8} entries "
+            f"(avg {stats.avg_label_size:.1f}/vertex)"
+        )
+    print(
+        "\nThe degree-aware rankings beat the random control by a wide "
+        "margin — the Section 2 story: high-degree hubs hit most "
+        "shortest paths, so ranking them first shrinks the 2-hop cover."
+    )
+
+
+if __name__ == "__main__":
+    main()

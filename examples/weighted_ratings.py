@@ -1,0 +1,83 @@
+"""Weighted graphs: rating networks (Section 7 + Table 6's last block).
+
+The paper's weighted datasets (amaRating, movRating, ...) are
+customer-product rating networks with positive edge weights.  All the
+machinery carries over: the same rules and pruning run on weighted
+trough paths; only the complexity guarantees are stated for unweighted
+graphs.  This example:
+
+* builds a bipartite-flavoured weighted network (users x items, weight
+  = rating "distance": dissimilarity 1..10);
+* answers weighted distance queries and compares with Dijkstra;
+* shows that hitting sets stay small on weighted scale-free graphs —
+  the "promising evidence" the paper reports.
+"""
+
+import random
+
+from repro import HopDoublingIndex, INF
+from repro.graphs import Graph, glp_graph
+from repro.graphs.traversal import dijkstra_distances
+
+
+def build_rating_network(
+    num_users: int, num_items: int, seed: int = 0
+) -> Graph:
+    """Users connect to items with rating-dissimilarity weights 1..10.
+
+    The item popularity follows the degree skew of a GLP graph, so the
+    result is scale-free like the paper's rating datasets.
+    """
+    rng = random.Random(seed)
+    skeleton = glp_graph(num_users, m=2.0, seed=seed)
+    n = num_users + num_items
+    edges = []
+    for u, v, _ in skeleton.edges():
+        # Map each skeleton edge endpoint pair to user-item ratings.
+        item = num_users + (v * 7 + u) % num_items
+        edges.append((u, item, float(rng.randint(1, 10))))
+        edges.append((v, item, float(rng.randint(1, 10))))
+    return Graph.from_edges(n, edges, directed=False, weighted=True)
+
+
+def main() -> None:
+    graph = build_rating_network(1_500, 300, seed=23)
+    print(f"rating network: {graph}")
+
+    index = HopDoublingIndex.build(graph)
+    stats = index.stats()
+    print(
+        f"index: {stats.total_entries} entries "
+        f"(avg {stats.avg_label_size:.1f}/vertex, "
+        f"{index.num_iterations} iterations)"
+    )
+
+    # --- weighted queries vs Dijkstra ground truth ---------------------
+    rng = random.Random(4)
+    sources = rng.sample(range(graph.num_vertices), 5)
+    checked = 0
+    for s in sources:
+        truth = dijkstra_distances(graph, s)
+        for t in rng.sample(range(graph.num_vertices), 200):
+            assert index.query(s, t) == truth[t]
+            checked += 1
+    print(f"verified {checked} weighted queries against Dijkstra")
+
+    # --- 'taste distance' between users ----------------------------------
+    print("\nsample user-to-user taste distances:")
+    for s, t in [(0, 1), (0, 700), (3, 1499)]:
+        d = index.query(s, t)
+        shown = "not comparable" if d == INF else f"{d:g}"
+        print(f"  users {s:>4} and {t:>4}: {shown}")
+
+    # --- small hitting sets persist under weights -------------------------
+    top = index.labels.top_fraction_for_coverage(0.9)
+    print(
+        f"\ntop {top * 100:.1f}% of ranked vertices cover 90% of all label "
+        f"entries — the small-hitting-set behaviour extends to weighted "
+        f"graphs, as Section 8 observes."
+    )
+
+
+if __name__ == "__main__":
+    main()

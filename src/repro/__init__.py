@@ -1,0 +1,35 @@
+"""repro — Hop Doubling Label Indexing (VLDB 2014) reproduction.
+
+A production-quality reimplementation of
+
+    Jiang, Fu, Wong, Xu:
+    "Hop Doubling Label Indexing for Point-to-Point Distance Querying
+    on Scale-Free Networks", PVLDB 7(12), 2014 (arXiv:1403.0779).
+
+Quick start::
+
+    from repro import HopDoublingIndex
+    from repro.graphs import glp_graph
+
+    graph = glp_graph(5_000, seed=42)         # scale-free synthetic graph
+    index = HopDoublingIndex.build(graph)     # paper-default hybrid build
+    index.query(17, 3021)                     # exact shortest-path distance
+
+Subpackages
+-----------
+``repro.graphs``     graph containers, generators, I/O, statistics
+``repro.core``       the labeling algorithms (hop-doubling / stepping /
+                     hybrid), pruning, bit-parallel labels, query engine
+``repro.io_sim``     external-memory (I/O-cost) simulation of Section 4
+``repro.baselines``  PLL, IS-Label, HCL-lite, bidirectional search, APSP
+``repro.bench``      harness regenerating every table and figure of
+                     Section 8
+"""
+
+from repro.core.index import HopDoublingIndex
+from repro.core.labels import INF, LabelIndex
+from repro.graphs.digraph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = ["HopDoublingIndex", "LabelIndex", "Graph", "INF", "__version__"]

@@ -1,0 +1,50 @@
+"""Ground-truth all-pairs shortest paths for the test suite.
+
+Brute-force BFS/Dijkstra from every vertex.  Quadratic memory — meant
+for the small graphs that correctness and property tests use, never for
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import Graph
+from repro.graphs.traversal import INF, bfs_distances, dijkstra_distances
+
+
+class APSPOracle:
+    """Exact distance oracle via one full SSSP per vertex."""
+
+    name = "apsp"
+
+    def __init__(self, graph: Graph) -> None:
+        sssp = dijkstra_distances if graph.weighted else bfs_distances
+        self._dist = [sssp(graph, s) for s in graph.vertices()]
+        self.n = graph.num_vertices
+
+    def query(self, s: int, t: int) -> float:
+        """Exact ``dist(s, t)``."""
+        return self._dist[s][t]
+
+    def distances_from(self, s: int) -> list[float]:
+        """The full distance row of ``s``."""
+        return list(self._dist[s])
+
+    def size_in_bytes(self) -> int:
+        """The pairwise table the paper calls impractical: 8B per cell."""
+        return self.n * self.n * 8
+
+    def hop_diameter(self) -> int:
+        """Exact hop diameter (for unweighted graphs: the diameter)."""
+        best = 0.0
+        for row in self._dist:
+            for d in row:
+                if d != INF and d > best:
+                    best = d
+        return int(best)
+
+    def all_pairs(self):
+        """Yield ``(s, t, dist)`` over every ordered pair."""
+        for s in range(self.n):
+            row = self._dist[s]
+            for t in range(self.n):
+                yield s, t, row[t]

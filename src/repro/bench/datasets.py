@@ -1,0 +1,156 @@
+"""Scaled stand-ins for the paper's datasets (Table 6, left columns).
+
+The paper evaluates on 21 real graphs (SNAP / KONECT crawls up to 168M
+vertices and 602M edges) plus 6 GLP-generated synthetic graphs.  The
+real crawls are neither redistributable here nor tractable in pure
+Python, so each dataset is replaced by a **deterministic synthetic
+stand-in** that preserves the properties the paper's analysis actually
+depends on (Section 2.2): power-law degree structure, directedness,
+weightedness and edge density ``|E|/|V|``.  Undirected stand-ins use
+the GLP model with the paper's own parameters; directed ones use GLP
+with random orientation + 30% reciprocation; weighted ones add uniform
+integer weights (rating-like, 1..10).
+
+Scaling: each spec carries a base vertex count in the hundreds-to-
+thousands (tiered by the original graph's size) and densities capped at
+``DENSITY_CAP`` — both recorded per-row so EXPERIMENTS.md can state
+exactly what was run.  The environment variable ``REPRO_SCALE``
+multiplies all vertex counts (e.g. ``REPRO_SCALE=4`` for a longer,
+larger-graph run).
+
+Profiles: ``quick`` (default; one representative per category, used by
+the pytest benchmarks), ``full`` (all 27 rows).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.graphs.digraph import Graph
+from repro.graphs.generators import glp_graph
+
+#: Edge densities above this are clamped (documented per run).
+DENSITY_CAP = 20.0
+
+#: Base |V| per size tier of the original dataset.
+_TIER_SIZES = {"small": 600, "medium": 1000, "large": 1500}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the catalog.
+
+    ``paper_vertices``/``paper_edges`` record the original graph so the
+    tables can show the scale substitution explicitly;
+    ``paper_category`` matches Table 6's section headers.
+    """
+
+    name: str
+    paper_category: str  # "undirected unweighted" | "directed unweighted" |
+    #                      "synthetic" | "undirected weighted"
+    paper_vertices: float
+    paper_edges: float
+    tier: str
+    directed: bool
+    weighted: bool
+    seed: int
+    in_quick_profile: bool = False
+
+    @property
+    def paper_density(self) -> float:
+        return self.paper_edges / self.paper_vertices
+
+    @property
+    def density(self) -> float:
+        """The density actually generated (paper value, capped)."""
+        return min(self.paper_density, DENSITY_CAP)
+
+    def num_vertices(self) -> int:
+        """Scaled vertex count (honours ``REPRO_SCALE``)."""
+        scale = float(os.environ.get("REPRO_SCALE", "1"))
+        return max(50, int(_TIER_SIZES[self.tier] * scale))
+
+
+_M = 1_000_000
+_K = 1_000
+
+DATASETS: list[DatasetSpec] = [
+    # --- undirected unweighted (Table 6, first block) -------------------
+    DatasetSpec("delicious", "undirected unweighted", 5.3 * _M, 602 * _M, "large", False, False, 101),
+    DatasetSpec("btc", "undirected unweighted", 168 * _M, 361 * _M, "large", False, False, 102),
+    DatasetSpec("flickrlink", "undirected unweighted", 1.7 * _M, 31 * _M, "medium", False, False, 103),
+    DatasetSpec("skitter", "undirected unweighted", 1.7 * _M, 22 * _M, "medium", False, False, 104, in_quick_profile=True),
+    DatasetSpec("catdog", "undirected unweighted", 624 * _K, 16 * _M, "medium", False, False, 105),
+    DatasetSpec("cat", "undirected unweighted", 150 * _K, 5 * _M, "small", False, False, 106, in_quick_profile=True),
+    DatasetSpec("flickr", "undirected unweighted", 106 * _K, 2 * _M, "small", False, False, 107),
+    DatasetSpec("enron", "undirected unweighted", 37 * _K, 368 * _K, "small", False, False, 108, in_quick_profile=True),
+    # --- directed unweighted ---------------------------------------------
+    DatasetSpec("wikieng", "directed unweighted", 17 * _M, 240 * _M, "large", True, False, 201, in_quick_profile=True),
+    DatasetSpec("wikifr", "directed unweighted", 5.1 * _M, 113 * _M, "large", True, False, 202),
+    DatasetSpec("wikiitaly", "directed unweighted", 2.9 * _M, 105 * _M, "medium", True, False, 203),
+    DatasetSpec("baidu", "directed unweighted", 2.1 * _M, 18 * _M, "medium", True, False, 204),
+    DatasetSpec("gplus", "directed unweighted", 102 * _K, 14 * _M, "small", True, False, 205),
+    DatasetSpec("wikitalk", "directed unweighted", 2.4 * _M, 5 * _M, "medium", True, False, 206),
+    DatasetSpec("slashdot", "directed unweighted", 77 * _K, 517 * _K, "small", True, False, 207, in_quick_profile=True),
+    DatasetSpec("epinions", "directed unweighted", 76 * _K, 509 * _K, "small", True, False, 208),
+    DatasetSpec("euall", "directed unweighted", 265 * _K, 420 * _K, "small", True, False, 209),
+    # --- synthetic (GLP, like the paper's syn1-syn6) ----------------------
+    DatasetSpec("syn1", "synthetic", 10 * _M, 700 * _M, "large", False, False, 301),
+    DatasetSpec("syn2", "synthetic", 20 * _M, 600 * _M, "large", False, False, 302),
+    DatasetSpec("syn3", "synthetic", 15 * _M, 450 * _M, "large", False, False, 303),
+    DatasetSpec("syn4", "synthetic", 10 * _M, 200 * _M, "large", False, False, 304),
+    DatasetSpec("syn5", "synthetic", 1 * _M, 5 * _M, "medium", False, False, 305, in_quick_profile=True),
+    DatasetSpec("syn6", "synthetic", 100 * _K, 1 * _M, "small", False, False, 306),
+    # --- undirected weighted ------------------------------------------------
+    DatasetSpec("amarating", "undirected weighted", 3.3 * _M, 11 * _M, "medium", False, True, 401),
+    DatasetSpec("epinrating", "undirected weighted", 876 * _K, 27 * _M, "medium", False, True, 402),
+    DatasetSpec("movrating", "undirected weighted", 9746, 2 * _M, "small", False, True, 403, in_quick_profile=True),
+    DatasetSpec("bookrating", "undirected weighted", 264 * _K, 867 * _K, "small", False, True, 404),
+]
+
+_BY_NAME = {spec.name: spec for spec in DATASETS}
+
+
+def profile_names(profile: str = "quick") -> list[str]:
+    """Dataset names in a profile (``quick`` or ``full``)."""
+    if profile == "full":
+        return [spec.name for spec in DATASETS]
+    if profile == "quick":
+        return [spec.name for spec in DATASETS if spec.in_quick_profile]
+    raise ValueError(f"unknown profile {profile!r}; use 'quick' or 'full'")
+
+
+def dataset_by_name(name: str) -> DatasetSpec:
+    """Look up a catalog entry."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; known: {sorted(_BY_NAME)}"
+        )
+
+
+@lru_cache(maxsize=8)
+def load_dataset(name: str) -> Graph:
+    """Generate (deterministically) the scaled stand-in graph.
+
+    Results are LRU-cached because the table drivers revisit datasets.
+    """
+    spec = dataset_by_name(name)
+    n = spec.num_vertices()
+    # GLP adds ~m/(1-p) edges per vertex; aim m at the target density.
+    p = 0.4695
+    m = max(0.3, spec.density * (1.0 - p))
+    graph = glp_graph(n, m=m, seed=spec.seed, directed=spec.directed)
+    if not spec.weighted:
+        return graph
+    rng = random.Random(spec.seed + 7)
+    edges = [
+        (u, v, float(rng.randint(1, 10))) for u, v, _ in graph.edges()
+    ]
+    return Graph.from_edges(
+        n, edges, directed=spec.directed, weighted=True
+    )

@@ -1,0 +1,33 @@
+"""CSV export for the table/figure drivers.
+
+The text tables are for eyeballing against the paper; downstream
+analysis (plotting Figure 8/9/10, regression-tracking Table 6) wants
+machine-readable output.  Every driver result object can be passed to
+:func:`write_csv` with its headers and rows.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> int:
+    """Write ``rows`` under ``headers``; returns the number of rows.
+
+    ``None`` cells are written as empty strings (the paper's "—").
+    """
+    path = Path(path)
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(["" if c is None else c for c in row])
+            count += 1
+    return count

@@ -1,0 +1,84 @@
+"""Measurement helpers for the benchmark drivers.
+
+Two pieces: per-query timing (the "Memory query time (us)" columns) and
+a wall-clock budget guard.  The paper reports "—" for methods that
+could not finish a dataset within 24 hours; our scaled-down analogue is
+a per-method budget (default a few seconds) enforced with SIGALRM, so
+the tables reproduce the *pattern* of which methods drop out, not just
+the numbers of the survivors.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class QueryTiming:
+    """Aggregate query timing over a workload."""
+
+    queries: int
+    total_seconds: float
+
+    @property
+    def avg_seconds(self) -> float:
+        return self.total_seconds / self.queries if self.queries else 0.0
+
+    @property
+    def avg_micros(self) -> float:
+        """Mean per-query microseconds — Table 6's unit."""
+        return self.avg_seconds * 1e6
+
+
+def time_queries(
+    query: Callable[[int, int], float],
+    pairs: Iterable[tuple[int, int]],
+) -> QueryTiming:
+    """Time ``query`` over all pairs (one warm pass, then a timed pass)."""
+    pairs = list(pairs)
+    for s, t in pairs[: min(16, len(pairs))]:
+        query(s, t)
+    start = time.perf_counter()
+    for s, t in pairs:
+        query(s, t)
+    elapsed = time.perf_counter() - start
+    return QueryTiming(queries=len(pairs), total_seconds=elapsed)
+
+
+class BudgetExceeded(Exception):
+    """Raised inside :func:`with_budget` when the alarm fires."""
+
+
+@contextmanager
+def _alarm(seconds: float):
+    def handler(signum, frame):
+        raise BudgetExceeded()
+
+    previous = signal.signal(signal.SIGALRM, handler)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_with_budget(fn: Callable[[], T], seconds: float | None) -> T | None:
+    """Run ``fn`` under a wall-clock budget; ``None`` when it times out.
+
+    ``seconds=None`` disables the guard.  Mirrors the paper's 24-hour
+    cutoff that produces the "—" cells of Table 6.
+    """
+    if seconds is None:
+        return fn()
+    try:
+        with _alarm(seconds):
+            return fn()
+    except BudgetExceeded:
+        return None

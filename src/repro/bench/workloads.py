@@ -1,0 +1,92 @@
+"""Query workloads for the benchmark harness.
+
+The paper times "1000 random queries" per dataset.  Three generators
+are provided: uniformly random pairs, pairs guaranteed to be connected
+(useful on directed graphs where random pairs are mostly unreachable),
+and distance-stratified pairs (for query-time-vs-distance analyses).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.digraph import Graph
+from repro.graphs.traversal import INF, bfs_distances, dijkstra_distances
+
+
+def random_pairs(
+    num_vertices: int, count: int, seed: int = 0
+) -> list[tuple[int, int]]:
+    """``count`` uniformly random (s, t) pairs with ``s != t``."""
+    if num_vertices < 2:
+        return []
+    rng = random.Random(seed)
+    pairs = []
+    while len(pairs) < count:
+        s = rng.randrange(num_vertices)
+        t = rng.randrange(num_vertices)
+        if s != t:
+            pairs.append((s, t))
+    return pairs
+
+
+def reachable_pairs(
+    graph: Graph, count: int, seed: int = 0, max_sources: int = 200
+) -> list[tuple[int, int]]:
+    """``count`` pairs with a finite distance, sampled via BFS trees."""
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    if n < 2:
+        return []
+    sssp = dijkstra_distances if graph.weighted else bfs_distances
+    pairs: list[tuple[int, int]] = []
+    attempts = 0
+    while len(pairs) < count and attempts < max_sources:
+        attempts += 1
+        s = rng.randrange(n)
+        dist = sssp(graph, s)
+        targets = [t for t, d in enumerate(dist) if d != INF and t != s]
+        if not targets:
+            continue
+        rng.shuffle(targets)
+        needed = count - len(pairs)
+        take = min(needed, max(1, len(targets) // 4))
+        pairs.extend((s, t) for t in targets[:take])
+    return pairs[:count]
+
+
+def stratified_pairs(
+    graph: Graph,
+    per_bucket: int,
+    buckets: list[tuple[float, float]] | None = None,
+    seed: int = 0,
+) -> dict[tuple[float, float], list[tuple[int, int]]]:
+    """Pairs grouped by distance range: ``{(lo, hi): [(s, t), ...]}``.
+
+    ``buckets`` default to short/medium/long: [1,2], [3,4], [5, inf).
+    """
+    if buckets is None:
+        buckets = [(1.0, 2.0), (3.0, 4.0), (5.0, INF)]
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    sssp = dijkstra_distances if graph.weighted else bfs_distances
+    result: dict[tuple[float, float], list[tuple[int, int]]] = {
+        b: [] for b in buckets
+    }
+    attempts = 0
+    while attempts < 200 and any(
+        len(v) < per_bucket for v in result.values()
+    ):
+        attempts += 1
+        s = rng.randrange(n)
+        dist = sssp(graph, s)
+        order = list(range(n))
+        rng.shuffle(order)
+        for t in order:
+            d = dist[t]
+            if t == s or d == INF:
+                continue
+            for lo, hi in buckets:
+                if lo <= d <= hi and len(result[(lo, hi)]) < per_bucket:
+                    result[(lo, hi)].append((s, t))
+    return result

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands::
+
+    repro build GRAPH -o INDEX [--directed] [--weighted] [--strategy S]
+    repro query INDEX S T [S T ...]
+    repro stats GRAPH [--directed] [--weighted]
+    repro generate MODEL -n N -o GRAPH [--density D] [--seed K]
+    repro verify GRAPH INDEX [--samples N]
+    repro bench {table6,table7,table8,figure8,figure9,figure10,
+                 assumptions,all}
+
+``GRAPH`` files are text edge lists (``u v [w]`` per line, ``#``
+comments); ``INDEX`` files use the library's binary label format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.index import HopDoublingIndex
+from repro.graphs.generators import ba_graph, er_graph, glp_graph
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.stats import summarize
+from repro.utils.prettyprint import format_bytes, format_count
+from repro.utils.timer import format_duration
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = read_edge_list(
+        args.graph, directed=args.directed, weighted=args.weighted
+    )
+    print(f"loaded {graph}")
+    index = HopDoublingIndex.build(
+        graph, strategy=args.strategy, ranking=args.ranking
+    )
+    stats = index.stats()
+    print(
+        f"built in {format_duration(index.build_result.build_seconds)} "
+        f"({index.num_iterations} iterations): "
+        f"{format_count(stats.total_entries)} entries, "
+        f"avg |label| {stats.avg_label_size:.1f}, "
+        f"{format_bytes(index.size_in_bytes())}"
+    )
+    index.save(args.output)
+    print(f"index written to {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = HopDoublingIndex.load(args.index)
+    if len(args.pair) % 2 != 0:
+        print("error: provide an even number of vertex ids", file=sys.stderr)
+        return 2
+    for i in range(0, len(args.pair), 2):
+        s, t = args.pair[i], args.pair[i + 1]
+        d = index.query(s, t)
+        shown = "unreachable" if d == float("inf") else f"{d:g}"
+        print(f"dist({s}, {t}) = {shown}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_edge_list(
+        args.graph, directed=args.directed, weighted=args.weighted
+    )
+    s = summarize(graph)
+    print(f"|V|            {format_count(s.num_vertices)}")
+    print(f"|E|            {format_count(s.num_edges)}")
+    print(f"max degree     {format_count(s.max_degree)}")
+    print(f"density        {s.density:.2f}")
+    print(f"size           {format_bytes(s.size_bytes)}")
+    print(f"rank exponent  {s.rank_exponent:.3f}  (scale-free: -1.0 .. -0.6)")
+    print(f"expansion R    {s.expansion:.1f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.model == "glp":
+        m = max(0.3, args.density * (1.0 - 0.4695))
+        graph = glp_graph(args.n, m=m, seed=args.seed, directed=args.directed)
+    elif args.model == "ba":
+        graph = ba_graph(
+            args.n, m=max(1, int(args.density)), seed=args.seed,
+            directed=args.directed,
+        )
+    elif args.model == "er":
+        graph = er_graph(
+            args.n, int(args.n * args.density), seed=args.seed,
+            directed=args.directed,
+        )
+    else:  # pragma: no cover - argparse choices guard this
+        raise AssertionError(args.model)
+    write_edge_list(graph, args.output)
+    print(f"wrote {graph} to {args.output}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.labels import LabelIndex
+    from repro.core.verify import verify_index
+
+    graph = read_edge_list(
+        args.graph, directed=args.directed, weighted=args.weighted
+    )
+    index = LabelIndex.load(args.index)
+    report = verify_index(graph, index, samples=args.samples)
+    print(report)
+    for violation in report.violations[:20]:
+        print(f"  ! {violation}")
+    return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        assumptions,
+        figure8,
+        figure9,
+        figure10,
+        table6,
+        table7,
+        table8,
+    )
+
+    runners = {
+        "table6": lambda: table6.main(args.profile),
+        "table7": lambda: table7.main(args.profile),
+        "table8": lambda: table8.main(args.profile),
+        "figure8": figure8.main,
+        "figure9": figure9.main,
+        "figure10": figure10.main,
+        "assumptions": lambda: assumptions.main(args.profile),
+    }
+    targets = list(runners) if args.target == "all" else [args.target]
+    for i, target in enumerate(targets):
+        if i:
+            print()
+        runners[target]()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hop Doubling Label Indexing (VLDB 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="build an index from an edge list")
+    p.add_argument("graph", help="edge-list file")
+    p.add_argument("-o", "--output", required=True, help="index output path")
+    p.add_argument("--directed", action="store_true")
+    p.add_argument("--weighted", action="store_true")
+    p.add_argument(
+        "--strategy",
+        choices=["hybrid", "stepping", "doubling"],
+        default="hybrid",
+    )
+    p.add_argument(
+        "--ranking",
+        choices=["auto", "degree", "inout", "random", "betweenness"],
+        default="auto",
+    )
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("query", help="query a built index")
+    p.add_argument("index", help="index file from `repro build`")
+    p.add_argument("pair", nargs="+", type=int, help="s t [s t ...]")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("stats", help="profile a graph (scale-free checks)")
+    p.add_argument("graph", help="edge-list file")
+    p.add_argument("--directed", action="store_true")
+    p.add_argument("--weighted", action="store_true")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("generate", help="generate a synthetic graph")
+    p.add_argument("model", choices=["glp", "ba", "er"])
+    p.add_argument("-n", type=int, required=True, help="number of vertices")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--density", type=float, default=10.0, help="|E|/|V|")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--directed", action="store_true")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser(
+        "verify", help="verify an index against its graph (exit 1 on failure)"
+    )
+    p.add_argument("graph", help="edge-list file")
+    p.add_argument("index", help="index file from `repro build`")
+    p.add_argument("--directed", action="store_true")
+    p.add_argument("--weighted", action="store_true")
+    p.add_argument("--samples", type=int, default=500)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("bench", help="regenerate a paper table or figure")
+    p.add_argument(
+        "target",
+        choices=[
+            "table6",
+            "table7",
+            "table8",
+            "figure8",
+            "figure9",
+            "figure10",
+            "assumptions",
+            "all",
+        ],
+    )
+    p.add_argument("--profile", choices=["quick", "full"], default="quick")
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

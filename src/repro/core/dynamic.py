@@ -1,0 +1,183 @@
+"""Incremental edge insertion — an extension beyond the paper.
+
+The paper targets *static* graphs ("given a static directed unweighted
+scale-free graph, construct a disk-based index").  A natural follow-up
+question is how far the same machinery carries toward dynamic graphs.
+This module answers the insert-only half:
+
+* keep the mutable label state alive after the initial build;
+* when an edge ``(u, v)`` arrives, admit it as a unit-hop entry and
+  run **Hop-Doubling repair rounds** seeded with just that entry.
+
+Why doubling and not stepping: the repair must stitch the new edge to
+*existing* labels on both sides in one round (``(a -> u) + (u -> v)``
+and ``(a -> v) + (v -> b)``); doubling's label-partner joins do exactly
+that, so any new trough shortest path through the edge is covered
+within two rounds plus the usual fixpoint iteration, and admission
+replaces any entry whose distance improved.
+
+Scope and guarantees:
+
+* queries stay **exact** after any number of insertions (asserted
+  against full rebuilds in the test suite);
+* the label set may retain entries that a from-scratch rebuild would
+  have pruned (insertion can make old entries dominated; we do not
+  re-sweep by default — call :meth:`DynamicHopDoublingIndex.compact`
+  for an exhaustive re-prune);
+* deletions are out of scope (they can invalidate entries that nothing
+  local can certify; the paper's future work, and ours).
+"""
+
+from __future__ import annotations
+
+from repro.core.hop_doubling import HopDoubling
+from repro.core.labels import (
+    DirectedLabelState,
+    LabelIndex,
+    UndirectedLabelState,
+)
+from repro.core.pruning import admit_and_prune, exhaustive_prune
+from repro.core.ranking import Ranking, make_ranking
+from repro.core.rules import make_engine
+from repro.graphs.digraph import Graph
+from repro.graphs.builder import GraphBuilder
+
+
+class DynamicHopDoublingIndex:
+    """A hop-doubling index that accepts edge insertions.
+
+    Build once from a base graph, then ``insert_edge`` as the graph
+    grows::
+
+        dyn = DynamicHopDoublingIndex(base_graph)
+        dyn.query(s, t)
+        dyn.insert_edge(u, v)          # index repaired in-place
+        dyn.query(s, t)                # still exact
+
+    The ranking is fixed at construction time (new high-degree vertices
+    do not get re-ranked; quality degrades gracefully, exactness does
+    not — the paper's Section 7 point that any total order stays
+    correct).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        ranking: Ranking | str = "auto",
+    ) -> None:
+        self.graph = graph
+        if isinstance(ranking, str):
+            ranking = make_ranking(graph, ranking)
+        self.ranking = ranking
+        # Repair must use the FULL rule set: the minimized rules'
+        # equivalence (Lemma 4) relies on alternative derivations that
+        # exist when building from scratch but not when extending a
+        # single fresh entry — e.g. stitching the new edge to partners
+        # reachable only through its own pivot.
+        self.rule_set = "full"
+
+        builder = HopDoubling(graph, ranking=ranking, rule_set=self.rule_set)
+        self._state, prev = builder._initial_state()
+        self._engine = make_engine(self._state, graph, self.rule_set)
+        self._run_rounds(prev)
+        self._edges: set[tuple[int, int]] = {
+            (u, v) for u, v, _ in graph.edges()
+        }
+        self.insertions = 0
+
+    # -- queries -----------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Exact ``dist(s, t)`` on the current (grown) graph."""
+        if s == t:
+            return 0.0
+        return self._state.two_hop_bound(s, t)
+
+    def snapshot(self) -> LabelIndex:
+        """Freeze the current labels into an immutable index."""
+        return LabelIndex.from_state(self._state)
+
+    # -- mutation --------------------------------------------------------------
+    def insert_edge(self, u: int, v: int, weight: float = 1.0) -> bool:
+        """Add the edge ``u -> v`` (``{u, v}`` if undirected) and repair.
+
+        Returns ``False`` when the edge already exists or is a self
+        loop (no work done).  ``weight`` must be positive for weighted
+        graphs and is ignored (treated as 1) otherwise.
+        """
+        n = self.graph.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise IndexError(f"edge ({u}, {v}) out of range for {n} vertices")
+        if u == v:
+            return False
+        if not self.graph.weighted:
+            weight = 1.0
+        elif not weight > 0:
+            raise ValueError(f"edge weight must be > 0, got {weight!r}")
+
+        key = (u, v)
+        if not self.graph.directed and u > v:
+            key = (v, u)
+        if key in self._edges:
+            return False
+        self._edges.add(key)
+        self.insertions += 1
+        self._rebuild_graph_with(key, weight)
+
+        # Admit the edge itself as a unit-hop entry (if it improves).
+        if self.graph.directed:
+            a, b = u, v
+        else:
+            a, b = self._state.owner_pivot(u, v)
+        existing = self._state.get_pair(a, b)
+        if existing is not None and existing[0] <= weight:
+            return True  # a parallel-but-no-better edge: nothing to repair
+        self._state.set_pair(a, b, weight, 1)
+        self._run_rounds([(a, b, weight, 1)])
+        return True
+
+    def compact(self) -> int:
+        """Exhaustively re-prune; returns the number of entries removed.
+
+        Insertions can make pre-existing entries dominated; a periodic
+        compaction restores the canonical-size index (Section 5.2's
+        exhaustive sweep).
+        """
+        return exhaustive_prune(self._state)
+
+    # -- internals ---------------------------------------------------------------
+    def _rebuild_graph_with(self, key: tuple[int, int], weight: float) -> None:
+        """Extend the immutable graph by one edge.
+
+        Graph instances are immutable by design; a dynamic wrapper
+        rebuilds the adjacency.  O(|E|) per insertion — acceptable for
+        the repair-experiment scale; a production variant would keep a
+        mutable overlay.
+        """
+        builder = GraphBuilder(
+            num_vertices=self.graph.num_vertices,
+            directed=self.graph.directed,
+            weighted=self.graph.weighted,
+        )
+        for a, b, w in self.graph.edges():
+            if self.graph.weighted:
+                builder.add_edge(a, b, w)
+            else:
+                builder.add_edge(a, b)
+        if self.graph.weighted:
+            builder.add_edge(key[0], key[1], weight)
+        else:
+            builder.add_edge(key[0], key[1])
+        self.graph = builder.build()
+        self._engine = make_engine(self._state, self.graph, self.rule_set)
+
+    def _run_rounds(self, prev) -> None:
+        """Doubling rounds until no surviving candidate remains."""
+        while prev:
+            candidates = self._engine.doubling(prev)
+            prev, _ = admit_and_prune(self._state, candidates)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicHopDoublingIndex(|V|={self.graph.num_vertices}, "
+            f"|E|={self.graph.num_edges}, insertions={self.insertions})"
+        )

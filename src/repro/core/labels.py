@@ -1,0 +1,511 @@
+"""2-hop label stores: mutable construction state and the frozen index.
+
+Terminology (Sections 2-3 of the paper, adapted to zero-based ranks):
+
+* every vertex has a unique **rank**; rank 0 is the *highest* priority
+  (the paper's ``r(u) > r(v)`` — "u ranked higher" — is ``rank[u] <
+  rank[v]`` here);
+* a directed **label entry** ``(a -> b, d)`` asserts a trough path from
+  ``a`` to ``b`` of length ``d``.  It is stored in ``Lout(a)`` when
+  ``rank[b] < rank[a]`` (the pivot ``b`` outranks the owner ``a``) and
+  in ``Lin(b)`` when ``rank[a] < rank[b]``;
+* the trivial self entries ``(v, 0)`` live in both stores (the paper
+  keeps them "for query answering");
+* for undirected graphs a single store ``L(v)`` holds higher-ranked
+  pivots (Section 7).
+
+Two families of classes live here:
+
+* :class:`DirectedLabelState` / :class:`UndirectedLabelState` — mutable
+  dict-based stores used *during* index construction, with the reverse
+  indexes the rule engine needs and the 2-hop bound used for pruning;
+* :class:`LabelIndex` — the immutable, sorted-array index produced at
+  the end, optimized for merge-join queries, measurable in bytes using
+  the paper's 32-bit-pivot + 8-bit-distance convention, and
+  serializable to disk.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+INF = float("inf")
+
+# A label entry value as stored during construction: (distance, hops).
+EntryValue = tuple[float, int]
+
+
+class DirectedLabelState:
+    """Mutable Lin/Lout stores for a directed graph under construction.
+
+    The stores are dictionaries ``pivot -> (dist, hops)``.  Reverse
+    indexes (``rev_out[u]``: who has ``u`` in their out-label;
+    ``rev_in[v]``: who has ``v`` in their in-label) are maintained
+    incrementally because the Hop-Doubling rule engine joins through
+    them (they play the role of the second sort order of the paper's
+    Algorithm 2 files).
+    """
+
+    __slots__ = ("n", "rank", "out", "inn", "rev_out", "rev_in")
+
+    def __init__(self, rank: Sequence[int]) -> None:
+        self.n = len(rank)
+        self.rank = list(rank)
+        self.out: list[dict[int, EntryValue]] = [
+            {v: (0.0, 0)} for v in range(self.n)
+        ]
+        self.inn: list[dict[int, EntryValue]] = [
+            {v: (0.0, 0)} for v in range(self.n)
+        ]
+        # rev_out[u][x] mirrors out[x][u]; rev_in[v][y] mirrors inn[y][v].
+        self.rev_out: list[dict[int, EntryValue]] = [{} for _ in range(self.n)]
+        self.rev_in: list[dict[int, EntryValue]] = [{} for _ in range(self.n)]
+
+    # -- entry bookkeeping --------------------------------------------
+    def is_out_pair(self, a: int, b: int) -> bool:
+        """Whether the pair ``a -> b`` would live in ``Lout(a)``."""
+        return self.rank[b] < self.rank[a]
+
+    def get_pair(self, a: int, b: int) -> EntryValue | None:
+        """Current entry for the directed pair ``a -> b``, if any."""
+        if self.rank[b] < self.rank[a]:
+            return self.out[a].get(b)
+        return self.inn[b].get(a)
+
+    def set_pair(self, a: int, b: int, dist: float, hops: int) -> None:
+        """Insert or overwrite the entry for ``a -> b``."""
+        value = (dist, hops)
+        if self.rank[b] < self.rank[a]:
+            self.out[a][b] = value
+            self.rev_out[b][a] = value
+        else:
+            self.inn[b][a] = value
+            self.rev_in[a][b] = value
+
+    def remove_pair(self, a: int, b: int) -> None:
+        """Delete the entry for ``a -> b`` (must exist)."""
+        if self.rank[b] < self.rank[a]:
+            del self.out[a][b]
+            del self.rev_out[b][a]
+        else:
+            del self.inn[b][a]
+            del self.rev_in[a][b]
+
+    # -- pruning probe -------------------------------------------------
+    def two_hop_bound(self, a: int, b: int, exclude_pivot: int = -1) -> float:
+        """Best ``d1 + d2`` over common pivots of ``Lout(a)`` and ``Lin(b)``.
+
+        This is simultaneously the query evaluation (Section 2) and the
+        pruning test (Section 3.3).  ``exclude_pivot`` lets the caller
+        ignore the candidate entry's own trivial route through itself.
+        Iterates over the smaller label and probes the larger one.
+        """
+        la = self.out[a]
+        lb = self.inn[b]
+        best = INF
+        if len(la) <= len(lb):
+            for w, (d1, _) in la.items():
+                if w == exclude_pivot:
+                    continue
+                hit = lb.get(w)
+                if hit is not None:
+                    d = d1 + hit[0]
+                    if d < best:
+                        best = d
+        else:
+            for w, (d2, _) in lb.items():
+                if w == exclude_pivot:
+                    continue
+                hit = la.get(w)
+                if hit is not None:
+                    d = hit[0] + d2
+                    if d < best:
+                        best = d
+        return best
+
+    # -- statistics -----------------------------------------------------
+    def total_entries(self) -> int:
+        """Non-trivial entries across both stores."""
+        return sum(len(d) - 1 for d in self.out) + sum(
+            len(d) - 1 for d in self.inn
+        )
+
+    def iter_entries(self) -> Iterator[tuple[int, int, float, int, bool]]:
+        """Yield ``(owner, pivot, dist, hops, is_out)`` for non-trivial entries."""
+        for v in range(self.n):
+            for pivot, (dist, hops) in self.out[v].items():
+                if pivot != v:
+                    yield v, pivot, dist, hops, True
+            for pivot, (dist, hops) in self.inn[v].items():
+                if pivot != v:
+                    yield v, pivot, dist, hops, False
+
+
+class UndirectedLabelState:
+    """Mutable single-store labels for an undirected graph (Section 7).
+
+    An entry ``{owner, pivot}`` with ``rank[pivot] < rank[owner]`` is
+    stored as ``lab[owner][pivot]``; ``rev[owner]`` mirrors who owns
+    ``owner`` as a pivot.
+    """
+
+    __slots__ = ("n", "rank", "lab", "rev")
+
+    def __init__(self, rank: Sequence[int]) -> None:
+        self.n = len(rank)
+        self.rank = list(rank)
+        self.lab: list[dict[int, EntryValue]] = [
+            {v: (0.0, 0)} for v in range(self.n)
+        ]
+        self.rev: list[dict[int, EntryValue]] = [{} for _ in range(self.n)]
+
+    def owner_pivot(self, a: int, b: int) -> tuple[int, int]:
+        """Normalize an unordered pair to ``(owner, pivot)`` by rank."""
+        if self.rank[a] < self.rank[b]:
+            return b, a
+        return a, b
+
+    def get_pair(self, a: int, b: int) -> EntryValue | None:
+        """Current entry for the unordered pair ``{a, b}``, if any."""
+        owner, pivot = self.owner_pivot(a, b)
+        return self.lab[owner].get(pivot)
+
+    def set_pair(self, a: int, b: int, dist: float, hops: int) -> None:
+        """Insert or overwrite the entry for ``{a, b}``."""
+        owner, pivot = self.owner_pivot(a, b)
+        value = (dist, hops)
+        self.lab[owner][pivot] = value
+        self.rev[pivot][owner] = value
+
+    def remove_pair(self, a: int, b: int) -> None:
+        """Delete the entry for ``{a, b}`` (must exist)."""
+        owner, pivot = self.owner_pivot(a, b)
+        del self.lab[owner][pivot]
+        del self.rev[pivot][owner]
+
+    def two_hop_bound(self, a: int, b: int, exclude_pivot: int = -1) -> float:
+        """Best ``d1 + d2`` over common pivots of ``L(a)`` and ``L(b)``."""
+        la = self.lab[a]
+        lb = self.lab[b]
+        best = INF
+        if len(la) > len(lb):
+            la, lb = lb, la
+        for w, (d1, _) in la.items():
+            if w == exclude_pivot:
+                continue
+            hit = lb.get(w)
+            if hit is not None:
+                d = d1 + hit[0]
+                if d < best:
+                    best = d
+        return best
+
+    def total_entries(self) -> int:
+        """Non-trivial entries across the store."""
+        return sum(len(d) - 1 for d in self.lab)
+
+    def iter_entries(self) -> Iterator[tuple[int, int, float, int, bool]]:
+        """Yield ``(owner, pivot, dist, hops, True)`` for non-trivial entries."""
+        for v in range(self.n):
+            for pivot, (dist, hops) in self.lab[v].items():
+                if pivot != v:
+                    yield v, pivot, dist, hops, True
+
+
+# ---------------------------------------------------------------------------
+# Frozen index
+# ---------------------------------------------------------------------------
+
+# Bytes per label entry under the paper's storage convention (Section 8):
+# a 32-bit pivot id plus an 8-bit distance.
+BYTES_PER_ENTRY = 5
+
+_MAGIC = b"RPLI"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LabelStats:
+    """Size statistics of a frozen index (feeds Tables 6-7, Figure 8)."""
+
+    num_vertices: int
+    total_entries: int
+    max_label_size: int
+    avg_label_size: float
+    index_bytes: int
+
+    def __str__(self) -> str:
+        return (
+            f"entries={self.total_entries} avg|label|={self.avg_label_size:.1f} "
+            f"max={self.max_label_size} bytes={self.index_bytes}"
+        )
+
+
+class LabelIndex:
+    """Immutable 2-hop label index with merge-join querying.
+
+    For directed graphs each vertex has an out-label and an in-label;
+    for undirected graphs the two alias the same array.  Labels are
+    sorted by pivot id so a distance query is a linear merge of two
+    sorted arrays (the disk-friendly evaluation of Section 2: "looking
+    up Lout(s) and Lin(t)").
+
+    Self entries ``(v, 0)`` are stored explicitly, as in the paper.
+    """
+
+    __slots__ = ("n", "directed", "out_labels", "in_labels", "rank")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        directed: bool,
+        out_labels: list[list[tuple[int, float]]],
+        in_labels: list[list[tuple[int, float]]],
+        rank: list[int] | None = None,
+    ) -> None:
+        self.n = num_vertices
+        self.directed = directed
+        self.out_labels = out_labels
+        self.in_labels = in_labels
+        self.rank = rank
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_state(
+        cls, state: DirectedLabelState | UndirectedLabelState
+    ) -> "LabelIndex":
+        """Freeze a construction-time store into a queryable index."""
+        if isinstance(state, DirectedLabelState):
+            out_labels = [
+                sorted((p, d) for p, (d, _) in state.out[v].items())
+                for v in range(state.n)
+            ]
+            in_labels = [
+                sorted((p, d) for p, (d, _) in state.inn[v].items())
+                for v in range(state.n)
+            ]
+            return cls(state.n, True, out_labels, in_labels, list(state.rank))
+        labels = [
+            sorted((p, d) for p, (d, _) in state.lab[v].items())
+            for v in range(state.n)
+        ]
+        return cls(state.n, False, labels, labels, list(state.rank))
+
+    # -- querying ---------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Exact ``dist(s, t)``; :data:`INF` when unreachable."""
+        if not 0 <= s < self.n or not 0 <= t < self.n:
+            raise IndexError(f"query ({s}, {t}) out of range [0, {self.n})")
+        if s == t:
+            return 0.0
+        return merge_join_distance(self.out_labels[s], self.in_labels[t])
+
+    def query_via(self, s: int, t: int) -> tuple[float, int]:
+        """Like :meth:`query` but also return the best pivot (-1 if none).
+
+        Useful for path reconstruction: the pivot is the highest-ranked
+        vertex on a shortest ``s -> t`` path.
+        """
+        if s == t:
+            return 0.0, s
+        best = INF
+        best_pivot = -1
+        a = self.out_labels[s]
+        b = self.in_labels[t]
+        i = j = 0
+        while i < len(a) and j < len(b):
+            pa, da = a[i]
+            pb, db = b[j]
+            if pa == pb:
+                d = da + db
+                if d < best:
+                    best = d
+                    best_pivot = pa
+                i += 1
+                j += 1
+            elif pa < pb:
+                i += 1
+            else:
+                j += 1
+        return best, best_pivot
+
+    def label_of(self, v: int, out: bool = True) -> list[tuple[int, float]]:
+        """The (pivot, dist) list of ``v``'s out- or in-label."""
+        return list(self.out_labels[v] if out else self.in_labels[v])
+
+    # -- statistics ---------------------------------------------------------
+    def total_entries(self, include_trivial: bool = False) -> int:
+        """Total label entries (self entries excluded unless asked)."""
+        total = sum(len(lab) for lab in self.out_labels)
+        if self.directed:
+            total += sum(len(lab) for lab in self.in_labels)
+        trivial = self.n * (2 if self.directed else 1)
+        return total if include_trivial else total - trivial
+
+    def stats(self) -> LabelStats:
+        """Aggregate size statistics (paper's |label| counts non-trivial)."""
+        per_vertex = []
+        for v in range(self.n):
+            size = len(self.out_labels[v]) - 1
+            if self.directed:
+                size += len(self.in_labels[v]) - 1
+            per_vertex.append(size)
+        total = sum(per_vertex)
+        return LabelStats(
+            num_vertices=self.n,
+            total_entries=total,
+            max_label_size=max(per_vertex, default=0),
+            avg_label_size=total / self.n if self.n else 0.0,
+            index_bytes=self.size_in_bytes(),
+        )
+
+    def size_in_bytes(self) -> int:
+        """Index size under the paper's 5-bytes-per-entry convention."""
+        return self.total_entries(include_trivial=True) * BYTES_PER_ENTRY
+
+    def entries_per_pivot(self) -> dict[int, int]:
+        """Non-trivial entry counts keyed by pivot vertex (for Figure 8)."""
+        counts: dict[int, int] = {}
+        for v in range(self.n):
+            for p, _ in self.out_labels[v]:
+                if p != v:
+                    counts[p] = counts.get(p, 0) + 1
+            if self.directed:
+                for p, _ in self.in_labels[v]:
+                    if p != v:
+                        counts[p] = counts.get(p, 0) + 1
+        return counts
+
+    def coverage_curve(
+        self, fractions: Sequence[float]
+    ) -> list[tuple[float, float]]:
+        """Label coverage by top-ranked vertices (paper's Figure 8).
+
+        For each requested fraction ``f`` of top-ranked vertices, report
+        the fraction of non-trivial label entries whose pivot lies in
+        that top set.  Requires the index to carry its ranking.
+        """
+        if self.rank is None:
+            raise ValueError("index has no ranking attached")
+        counts = self.entries_per_pivot()
+        total = sum(counts.values())
+        order = sorted(range(self.n), key=lambda v: self.rank[v])
+        curve = []
+        for f in fractions:
+            k = max(1, int(round(f * self.n)))
+            covered = sum(counts.get(v, 0) for v in order[:k])
+            curve.append((f, covered / total if total else 1.0))
+        return curve
+
+    def top_fraction_for_coverage(self, target: float) -> float:
+        """Smallest fraction of top vertices covering ``target`` of entries.
+
+        This regenerates the "top vertices coverage 70%/80%/90%" columns
+        of Table 7.
+        """
+        if self.rank is None:
+            raise ValueError("index has no ranking attached")
+        counts = self.entries_per_pivot()
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        order = sorted(range(self.n), key=lambda v: self.rank[v])
+        covered = 0
+        for k, v in enumerate(order, start=1):
+            covered += counts.get(v, 0)
+            if covered >= target * total:
+                return k / self.n
+        return 1.0
+
+    # -- serialization -------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the index to ``path`` in a compact binary format."""
+        with open(path, "wb") as fh:
+            fh.write(_MAGIC)
+            flags = 1 if self.directed else 0
+            has_rank = 1 if self.rank is not None else 0
+            fh.write(struct.pack("<BBBI", _VERSION, flags, has_rank, self.n))
+            if self.rank is not None:
+                fh.write(struct.pack(f"<{self.n}I", *self.rank))
+
+            def write_side(labels: list[list[tuple[int, float]]]) -> None:
+                for lab in labels:
+                    fh.write(struct.pack("<I", len(lab)))
+                    for p, d in lab:
+                        fh.write(struct.pack("<Id", p, d))
+
+            write_side(self.out_labels)
+            if self.directed:
+                write_side(self.in_labels)
+
+    @classmethod
+    def load(cls, path) -> "LabelIndex":
+        """Read an index previously written by :meth:`save`.
+
+        Raises ``ValueError`` on anything that is not a complete index
+        file (wrong magic, unsupported version, truncation).
+        """
+        try:
+            with open(path, "rb") as fh:
+                if fh.read(4) != _MAGIC:
+                    raise ValueError(f"{path}: not a label index file")
+                version, flags, has_rank, n = struct.unpack(
+                    "<BBBI", fh.read(7)
+                )
+                if version != _VERSION:
+                    raise ValueError(f"{path}: unsupported version {version}")
+                directed = bool(flags & 1)
+                rank = None
+                if has_rank:
+                    rank = list(struct.unpack(f"<{n}I", fh.read(4 * n)))
+
+                entry = struct.Struct("<Id")
+
+                def read_side() -> list[list[tuple[int, float]]]:
+                    side = []
+                    for _ in range(n):
+                        (count,) = struct.unpack("<I", fh.read(4))
+                        lab = [
+                            entry.unpack(fh.read(entry.size))
+                            for _ in range(count)
+                        ]
+                        side.append([(int(p), float(d)) for p, d in lab])
+                    return side
+
+                out_labels = read_side()
+                in_labels = read_side() if directed else out_labels
+        except struct.error as exc:
+            raise ValueError(f"{path}: truncated or corrupt index file") from exc
+        return cls(n, directed, out_labels, in_labels, rank)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"LabelIndex(|V|={self.n}, {kind}, "
+            f"entries={self.total_entries()})"
+        )
+
+
+def merge_join_distance(
+    a: list[tuple[int, float]], b: list[tuple[int, float]]
+) -> float:
+    """Minimum ``da + db`` over common pivots of two sorted labels."""
+    best = INF
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        pa, da = a[i]
+        pb, db = b[j]
+        if pa == pb:
+            d = da + db
+            if d < best:
+                best = d
+            i += 1
+            j += 1
+        elif pa < pb:
+            i += 1
+        else:
+            j += 1
+    return best

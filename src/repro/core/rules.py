@@ -1,0 +1,313 @@
+"""Label-entry generation rules (Section 3.1-3.2 and Section 5.1).
+
+A candidate entry is produced by concatenating two known entries that
+share a middle vertex ``m``: ``(x -> m) + (m -> y) => (x -> y)``.  The
+concatenation is *trough-valid* exactly when ``m`` ranks below the
+higher-ranked of ``x`` and ``y`` (Definition 1).  The paper's six rules
+of Table 5 are the six (prev-entry type x partner store) templates of
+this join, and Lemmas 3-4 show four of them suffice.
+
+Both engines are implemented:
+
+* ``rule_set="full"`` — all six templates (the reference engine);
+* ``rule_set="minimized"`` — the four simplified rules (the default, as
+  in the paper).
+
+Each engine offers two joining modes:
+
+* :meth:`doubling` — partners come from **all** current labels
+  (Hop-Doubling, Section 3): covered hop lengths roughly double per
+  iteration (Theorem 2);
+* :meth:`stepping` — partners are unit-hop entries, i.e. graph edges
+  (Hop-Stepping, Section 5.1): covered hop lengths grow by one per
+  iteration (Lemma 5), keeping the candidate volume per iteration down
+  to ``O(h |V| log |V|)`` (Section 5.3).
+
+Notation reminder: rank 0 is the *highest* priority, so the paper's
+``r(a) > r(b)`` reads ``rank[a] < rank[b]`` in this code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.labels import (
+    DirectedLabelState,
+    EntryValue,
+    UndirectedLabelState,
+)
+from repro.graphs.digraph import Graph
+
+# A prev entry: (source, target, distance, hops).  For undirected
+# engines the convention is (owner, pivot, distance, hops).
+PrevEntry = tuple[int, int, float, int]
+
+RULE_SETS = ("minimized", "full")
+
+
+class CandidateSet:
+    """Accumulates generated candidates, keeping the best per pair.
+
+    ``raw_generated`` counts every rule application (before
+    deduplication) — the quantity behind the *growing factor* of
+    Figure 10; ``pairs`` maps ``(a, b)`` to the best ``(dist, hops)``
+    seen (smaller distance wins; ties prefer fewer hops).
+    """
+
+    __slots__ = ("pairs", "raw_generated")
+
+    def __init__(self) -> None:
+        self.pairs: dict[tuple[int, int], EntryValue] = {}
+        self.raw_generated = 0
+
+    def offer(self, a: int, b: int, dist: float, hops: int) -> None:
+        """Record a generated candidate for the pair ``a -> b``."""
+        self.raw_generated += 1
+        key = (a, b)
+        current = self.pairs.get(key)
+        if (
+            current is None
+            or dist < current[0]
+            or (dist == current[0] and hops < current[1])
+        ):
+            self.pairs[key] = (dist, hops)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def items(self) -> Iterable[tuple[tuple[int, int], EntryValue]]:
+        return self.pairs.items()
+
+
+def _check_rule_set(rule_set: str) -> None:
+    if rule_set not in RULE_SETS:
+        raise ValueError(
+            f"unknown rule_set {rule_set!r}; expected one of {RULE_SETS}"
+        )
+
+
+class DirectedRuleEngine:
+    """Generation rules over a :class:`DirectedLabelState`."""
+
+    def __init__(
+        self,
+        state: DirectedLabelState,
+        graph: Graph,
+        rule_set: str = "minimized",
+    ) -> None:
+        _check_rule_set(rule_set)
+        self.state = state
+        self.graph = graph
+        self.full = rule_set == "full"
+
+    # ------------------------------------------------------------------
+    # Hop-Doubling: partners from all current labels
+    # ------------------------------------------------------------------
+    def doubling(self, prev: Sequence[PrevEntry]) -> CandidateSet:
+        """Apply the rules with label partners (Hop-Doubling joins)."""
+        state = self.state
+        rank = state.rank
+        out = state.out
+        inn = state.inn
+        rev_out = state.rev_out
+        rev_in = state.rev_in
+        cands = CandidateSet()
+        full = self.full
+
+        for u, v, d, h in prev:
+            if rank[v] < rank[u]:
+                # prev is an out-entry of u: (u -> v), pivot v outranks u.
+                rank_v = rank[v]
+                # Rule 1: partners (x -> u) in Lin(u); minimized keeps
+                # only x ranked between u and v.
+                for x, (d1, h1) in inn[u].items():
+                    if x == u or x == v:
+                        continue
+                    if full or rank[x] > rank_v:
+                        cands.offer(x, v, d1 + d, h1 + h)
+                # Rule 2: partners (x -> u) held as out-entries of x
+                # (x ranked below u) — reached through the reverse index.
+                for x, (d1, h1) in rev_out[u].items():
+                    if x == v:
+                        continue
+                    cands.offer(x, v, d1 + d, h1 + h)
+                if full:
+                    # Rule 3: partners (v -> y) in Lout(v); redundant by
+                    # Lemma 3 but kept in the reference engine.
+                    for y, (d2, h2) in out[v].items():
+                        if y == v or y == u:
+                            continue
+                        cands.offer(u, y, d + d2, h + h2)
+            else:
+                # prev is an in-entry of v: (u -> v), pivot u outranks v.
+                rank_u = rank[u]
+                # Rule 4: partners (v -> y) in Lout(v); minimized keeps
+                # only y ranked between v and u.
+                for y, (d2, h2) in out[v].items():
+                    if y == v or y == u:
+                        continue
+                    if full or rank[y] > rank_u:
+                        cands.offer(u, y, d + d2, h + h2)
+                # Rule 5: partners (v -> y) held as in-entries of y
+                # (y ranked below v) — reached through the reverse index.
+                for y, (d2, h2) in rev_in[v].items():
+                    if y == u:
+                        continue
+                    cands.offer(u, y, d + d2, h + h2)
+                if full:
+                    # Rule 6: partners (x -> u) in Lin(u); redundant by
+                    # Lemma 3 but kept in the reference engine.
+                    for x, (d1, h1) in inn[u].items():
+                        if x == u or x == v:
+                            continue
+                        cands.offer(x, v, d1 + d, h1 + h)
+        return cands
+
+    # ------------------------------------------------------------------
+    # Hop-Stepping: partners are unit-hop entries (graph edges)
+    # ------------------------------------------------------------------
+    def stepping(self, prev: Sequence[PrevEntry]) -> CandidateSet:
+        """Apply the rules with edge partners (Hop-Stepping joins)."""
+        state = self.state
+        rank = state.rank
+        graph = self.graph
+        cands = CandidateSet()
+        full = self.full
+
+        for u, v, d, h in prev:
+            if rank[v] < rank[u]:
+                # prev out-entry (u -> v): extend backwards over in-edges
+                # of u.  Minimized: partner x must rank below v (union of
+                # Rules 1 and 2); full: any x (adds Rule 1's dropped
+                # branch), plus Rule 3 partners over out-edges of v.
+                rank_v = rank[v]
+                for x, w in graph.in_edges(u):
+                    if x == v:
+                        continue
+                    if full or rank[x] > rank_v:
+                        cands.offer(x, v, w + d, h + 1)
+                if full:
+                    rank_v = rank[v]
+                    for y, w in graph.out_edges(v):
+                        if y == u:
+                            continue
+                        if rank[y] < rank_v:
+                            cands.offer(u, y, d + w, h + 1)
+            else:
+                # prev in-entry (u -> v): extend forwards over out-edges
+                # of v.  Minimized: partner y must rank below u (union of
+                # Rules 4 and 5); full: any y, plus Rule 6 partners over
+                # in-edges of u.
+                rank_u = rank[u]
+                for y, w in graph.out_edges(v):
+                    if y == u:
+                        continue
+                    if full or rank[y] > rank_u:
+                        cands.offer(u, y, d + w, h + 1)
+                if full:
+                    for x, w in graph.in_edges(u):
+                        if x == v:
+                            continue
+                        if rank[x] < rank_u:
+                            cands.offer(x, v, w + d, h + 1)
+        return cands
+
+
+class UndirectedRuleEngine:
+    """Generation rules over an :class:`UndirectedLabelState` (Section 7).
+
+    Entries are unordered pairs ``{owner, pivot}`` with the pivot
+    outranking the owner.  The directed rules collapse pairwise
+    (Rule 1 with Rule 4, Rule 2 with Rule 5), leaving:
+
+    * minimized — partners of the owner ranked below the pivot;
+    * full — additionally, any owner partner and pivot-side partners
+      (the analogue of Rules 3/6).
+    """
+
+    def __init__(
+        self,
+        state: UndirectedLabelState,
+        graph: Graph,
+        rule_set: str = "minimized",
+    ) -> None:
+        _check_rule_set(rule_set)
+        self.state = state
+        self.graph = graph
+        self.full = rule_set == "full"
+
+    def _offer(
+        self, cands: CandidateSet, a: int, b: int, dist: float, hops: int
+    ) -> None:
+        """Offer the unordered pair ``{a, b}`` in (owner, pivot) order.
+
+        Normalizing here keeps each unordered pair under a single
+        candidate key regardless of which join produced it.
+        """
+        if self.state.rank[a] < self.state.rank[b]:
+            a, b = b, a
+        cands.offer(a, b, dist, hops)
+
+    def doubling(self, prev: Sequence[PrevEntry]) -> CandidateSet:
+        """Apply the rules with label partners (Hop-Doubling joins)."""
+        state = self.state
+        rank = state.rank
+        lab = state.lab
+        rev = state.rev
+        cands = CandidateSet()
+        full = self.full
+
+        for owner, pivot, d, h in prev:
+            rank_p = rank[pivot]
+            # Rule 1 analogue: partners in L(owner).
+            for x, (d1, h1) in lab[owner].items():
+                if x == owner or x == pivot:
+                    continue
+                if full or rank[x] > rank_p:
+                    self._offer(cands, x, pivot, d1 + d, h1 + h)
+            # Rule 2 analogue: partners holding `owner` as their pivot.
+            for x, (d1, h1) in rev[owner].items():
+                if x == pivot:
+                    continue
+                self._offer(cands, x, pivot, d1 + d, h1 + h)
+            if full:
+                # Rule 3/6 analogue: extend through the pivot side.
+                for y, (d2, h2) in lab[pivot].items():
+                    if y == pivot or y == owner:
+                        continue
+                    self._offer(cands, owner, y, d + d2, h + h2)
+        return cands
+
+    def stepping(self, prev: Sequence[PrevEntry]) -> CandidateSet:
+        """Apply the rules with edge partners (Hop-Stepping joins)."""
+        state = self.state
+        rank = state.rank
+        graph = self.graph
+        cands = CandidateSet()
+        full = self.full
+
+        for owner, pivot, d, h in prev:
+            rank_p = rank[pivot]
+            for x, w in graph.out_edges(owner):
+                if x == pivot:
+                    continue
+                if full or rank[x] > rank_p:
+                    self._offer(cands, x, pivot, w + d, h + 1)
+            if full:
+                for y, w in graph.out_edges(pivot):
+                    if y == owner:
+                        continue
+                    if rank[y] < rank_p:
+                        self._offer(cands, owner, y, d + w, h + 1)
+        return cands
+
+
+def make_engine(
+    state: DirectedLabelState | UndirectedLabelState,
+    graph: Graph,
+    rule_set: str = "minimized",
+) -> DirectedRuleEngine | UndirectedRuleEngine:
+    """Instantiate the rule engine matching the state's directedness."""
+    if isinstance(state, DirectedLabelState):
+        return DirectedRuleEngine(state, graph, rule_set)
+    return UndirectedRuleEngine(state, graph, rule_set)

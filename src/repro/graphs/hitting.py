@@ -1,0 +1,278 @@
+"""Hitting sets and hub dimension (Section 2.2 of the paper).
+
+The paper's complexity guarantees rest on three empirical assumptions
+about unweighted scale-free graphs; this module measures each of them
+on a concrete graph:
+
+* **Assumption 1** — there are small integers ``d0`` and ``h`` and a
+  set ``H`` of the ``h`` highest-degree vertices such that every pair
+  connected by a shortest path of hop length >= ``d0`` has *some*
+  shortest path hit by ``H``.  :func:`verify_long_path_hitting`
+  samples such pairs and reports the smallest top-degree prefix that
+  hits them all.
+* **Assumption 2** — the ``H``-excluded neighbourhood ``Ne(v)`` (the
+  ball of radius ``d0`` around ``v`` minus everything already covered
+  through ``H``) is small.  :func:`h_excluded_neighborhood` implements
+  the ``N``, ``N_H``, ``N''`` and ``Ne`` sets exactly as defined in
+  the paper.
+* **Assumption 3** — the *hub dimension*: for each vertex a set of
+  ``O(h)`` vertices hits all shortest paths through it.
+  :func:`hub_dimension_estimate` upper-bounds it per vertex by greedy
+  set cover over sampled shortest paths.
+
+These are measurement tools: the benches print them next to the label
+sizes so the reader can see the assumptions holding (or failing, on a
+grid) on the same graphs the index is built from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graphs.digraph import Graph
+from repro.graphs.traversal import INF, bfs_distances
+
+#: The paper derives d0 = 4 for typical rank exponents (Section 2.2).
+DEFAULT_D0 = 4
+
+
+def _sample_path_vertices(
+    graph: Graph, s: int, t: int, rng: random.Random
+) -> list[list[int]] | None:
+    """Up to a few distinct shortest s->t paths (vertex lists).
+
+    BFS parents are sampled randomly so repeated calls explore
+    different shortest paths.
+    """
+    dist = bfs_distances(graph, s)
+    if dist[t] == INF:
+        return None
+    paths = []
+    for _ in range(4):
+        path = [t]
+        cur = t
+        while cur != s:
+            preds = [
+                p for p in graph.in_neighbors(cur) if dist[p] == dist[cur] - 1
+            ]
+            if not preds:  # pragma: no cover - BFS guarantees a parent
+                return None
+            cur = rng.choice(preds)
+            path.append(cur)
+        paths.append(list(reversed(path)))
+    unique = {tuple(p) for p in paths}
+    return [list(p) for p in unique]
+
+
+@dataclass(frozen=True)
+class HittingReport:
+    """Outcome of :func:`verify_long_path_hitting`."""
+
+    d0: int
+    sampled_pairs: int
+    long_pairs: int
+    #: Smallest top-degree prefix size hitting one shortest path per
+    #: long pair; None when even the largest tested prefix failed.
+    h_needed: int | None
+    max_h_tested: int
+
+    @property
+    def assumption_holds(self) -> bool:
+        return self.long_pairs == 0 or self.h_needed is not None
+
+
+def verify_long_path_hitting(
+    graph: Graph,
+    d0: int = DEFAULT_D0,
+    num_pairs: int = 200,
+    max_h: int = 64,
+    seed: int = 0,
+) -> HittingReport:
+    """Assumption 1: long shortest paths are hit by few top vertices.
+
+    Samples connected pairs at hop distance >= ``d0`` and finds the
+    smallest ``h`` such that the ``h`` highest-degree vertices hit at
+    least one sampled shortest path of every pair.
+    """
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    if n < 2:
+        return HittingReport(d0, 0, 0, 0, max_h)
+    order = sorted(range(n), key=lambda v: (-graph.degree(v), v))
+    prefix_rank = {v: i for i, v in enumerate(order)}
+
+    long_pair_best_rank: list[int] = []
+    sampled = 0
+    attempts = 0
+    while sampled < num_pairs and attempts < num_pairs * 8:
+        attempts += 1
+        s = rng.randrange(n)
+        dist = bfs_distances(graph, s)
+        candidates = [
+            t for t, d in enumerate(dist) if d != INF and d >= d0 and t != s
+        ]
+        if not candidates:
+            continue
+        t = rng.choice(candidates)
+        sampled += 1
+        paths = _sample_path_vertices(graph, s, t, rng)
+        if not paths:
+            continue
+        # The pair is hit by prefix h if SOME sampled path has an
+        # interior vertex within the top-h (endpoints excluded, as in
+        # the paper: H vertices hit the path, endpoints answer via
+        # their own labels anyway).
+        best = INF
+        for path in paths:
+            interior = path[1:-1] if len(path) > 2 else path
+            if interior:
+                best = min(
+                    best, min(prefix_rank[v] for v in interior)
+                )
+        long_pair_best_rank.append(int(best) if best != INF else max_h + 1)
+
+    if not long_pair_best_rank:
+        return HittingReport(d0, sampled, 0, 0, max_h)
+    needed = max(long_pair_best_rank) + 1
+    return HittingReport(
+        d0=d0,
+        sampled_pairs=sampled,
+        long_pairs=len(long_pair_best_rank),
+        h_needed=needed if needed <= max_h else None,
+        max_h_tested=max_h,
+    )
+
+
+def h_excluded_neighborhood(
+    graph: Graph,
+    v: int,
+    hub_set: set[int],
+    d0: int = DEFAULT_D0,
+) -> set[int]:
+    """The paper's ``Ne(v)`` for a given hub set ``H``.
+
+    Definitions (Section 2.2): ``N(v)`` is every vertex within hop
+    distance < ``d0`` of ``v`` in either direction; ``N_H(v)`` its hub
+    members; ``N''(v)`` the members reachable on a short shortest path
+    that passes through a hub.  Then ``Ne(v) = (N(v) - N''(v)) ∪
+    N_H(v)`` — the neighbourhood v's own label must cover itself.
+    """
+    dist_out = bfs_distances(graph, v, max_dist=d0 - 1)
+    dist_in = (
+        bfs_distances(graph, v, reverse=True, max_dist=d0 - 1)
+        if graph.directed
+        else dist_out
+    )
+
+    neighborhood = {
+        u
+        for u in range(graph.num_vertices)
+        if u != v and (dist_out[u] < d0 or dist_in[u] < d0)
+    }
+    hubs_nearby = neighborhood & hub_set
+
+    # N''(v): vertices whose short shortest path from/to v can route
+    # through a nearby hub at equal hop length.
+    through_hub: set[int] = set()
+    for direction, dist_v in (("out", dist_out), ("in", dist_in)):
+        for w in hubs_nearby:
+            dw = dist_v[w]
+            if dw == INF:
+                continue
+            reach = bfs_distances(
+                graph, w, reverse=(direction == "in"), max_dist=d0 - 1 - dw
+            )
+            for u in neighborhood:
+                if u in hub_set:
+                    continue
+                du = dist_v[u]
+                if du < d0 and dw + reach[u] == du:
+                    through_hub.add(u)
+        if not graph.directed:
+            break
+    return (neighborhood - through_hub) | hubs_nearby
+
+
+def max_excluded_neighborhood(
+    graph: Graph,
+    num_hubs: int = 16,
+    d0: int = DEFAULT_D0,
+    num_samples: int = 32,
+    seed: int = 0,
+) -> tuple[float, int]:
+    """Assumption 2 probe: (avg, max) size of ``Ne(v)`` over samples."""
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0, 0
+    order = sorted(range(n), key=lambda v: (-graph.degree(v), v))
+    hubs = set(order[:num_hubs])
+    samples = (
+        list(range(n)) if n <= num_samples else rng.sample(range(n), num_samples)
+    )
+    sizes = [
+        len(h_excluded_neighborhood(graph, v, hubs, d0)) for v in samples
+    ]
+    return sum(sizes) / len(sizes), max(sizes)
+
+
+def hub_dimension_estimate(
+    graph: Graph,
+    num_vertices_sampled: int = 16,
+    paths_per_vertex: int = 24,
+    seed: int = 0,
+) -> int:
+    """Assumption 3 probe: an upper bound on the hub dimension ``h``.
+
+    For each sampled vertex ``u``, greedily set-covers a sample of
+    shortest paths *through* ``u`` with as few vertices as possible;
+    the estimate is the maximum cover size over sampled vertices.
+    Greedy cover is a ``ln``-approximation, so this is an upper bound
+    on the sampled hub dimension.
+    """
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    if n < 3:
+        return n
+    samples = (
+        list(range(n))
+        if n <= num_vertices_sampled
+        else rng.sample(range(n), num_vertices_sampled)
+    )
+    worst = 0
+    for u in samples:
+        # Sample paths through u: combine a path into u with one out.
+        dist_to = bfs_distances(graph, u, reverse=True)
+        dist_from = bfs_distances(graph, u)
+        sources = [x for x, d in enumerate(dist_to) if 0 < d < INF]
+        targets = [x for x, d in enumerate(dist_from) if 0 < d < INF]
+        if not sources or not targets:
+            continue
+        paths = []
+        for _ in range(paths_per_vertex):
+            s = rng.choice(sources)
+            t = rng.choice(targets)
+            if bfs_distances(graph, s)[t] != dist_to[s] + dist_from[t]:
+                continue  # u is not on a shortest s -> t path
+            left = _sample_path_vertices(graph, s, u, rng)
+            right = _sample_path_vertices(graph, u, t, rng)
+            if left and right:
+                paths.append(left[0][:-1] + right[0])
+        if not paths:
+            continue
+        # Greedy set cover of the sampled paths.
+        uncovered = list(range(len(paths)))
+        cover = 0
+        while uncovered:
+            counts: dict[int, int] = {}
+            for i in uncovered:
+                for x in paths[i]:
+                    counts[x] = counts.get(x, 0) + 1
+            best_vertex = max(counts, key=lambda x: (counts[x], graph.degree(x)))
+            uncovered = [
+                i for i in uncovered if best_vertex not in paths[i]
+            ]
+            cover += 1
+        worst = max(worst, cover)
+    return worst

@@ -1,0 +1,135 @@
+"""Graph transformations: symmetrization, reversal, relabeling, components.
+
+Dataset preparation for the paper's experiments needs a few standard
+rewrites: treating a directed crawl as undirected, restricting to the
+largest (weakly) connected component so query workloads do not drown in
+unreachable pairs, and permuting vertex ids (used by tests to check that
+algorithms do not depend on accidental id order).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Sequence
+
+from repro.graphs.digraph import Graph
+
+
+def to_undirected(graph: Graph) -> Graph:
+    """Forget arc directions (collapsing antiparallel arcs, min weight)."""
+    if not graph.directed:
+        return graph
+    if graph.weighted:
+        edges = [(u, v, w) for u, v, w in graph.edges()]
+    else:
+        edges = [(u, v) for u, v, _ in graph.edges()]
+    return Graph.from_edges(
+        graph.num_vertices, edges, directed=False, weighted=graph.weighted
+    )
+
+
+def reverse_graph(graph: Graph) -> Graph:
+    """Reverse every arc (identity for undirected graphs)."""
+    if not graph.directed:
+        return graph
+    if graph.weighted:
+        edges = [(v, u, w) for u, v, w in graph.edges()]
+    else:
+        edges = [(v, u) for u, v, _ in graph.edges()]
+    return Graph.from_edges(
+        graph.num_vertices, edges, directed=True, weighted=graph.weighted
+    )
+
+
+def permute_vertices(graph: Graph, permutation: Sequence[int]) -> Graph:
+    """Relabel vertex ``v`` as ``permutation[v]``.
+
+    ``permutation`` must be a bijection on ``range(num_vertices)``.
+    """
+    n = graph.num_vertices
+    if len(permutation) != n or sorted(permutation) != list(range(n)):
+        raise ValueError("permutation must be a bijection on vertex ids")
+    if graph.weighted:
+        edges = [(permutation[u], permutation[v], w) for u, v, w in graph.edges()]
+    else:
+        edges = [(permutation[u], permutation[v]) for u, v, _ in graph.edges()]
+    return Graph.from_edges(
+        n, edges, directed=graph.directed, weighted=graph.weighted
+    )
+
+
+def random_permutation(n: int, seed: int = 0) -> list[int]:
+    """A seeded random bijection on ``range(n)``."""
+    perm = list(range(n))
+    random.Random(seed).shuffle(perm)
+    return perm
+
+
+def weakly_connected_components(graph: Graph) -> list[list[int]]:
+    """Vertex sets of weakly connected components, largest first."""
+    n = graph.num_vertices
+    seen = [False] * n
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        comp = []
+        queue = deque([start])
+        seen[start] = True
+        while queue:
+            u = queue.popleft()
+            comp.append(u)
+            for v in graph.out_neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+            if graph.directed:
+                for v in graph.in_neighbors(u):
+                    if not seen[v]:
+                        seen[v] = True
+                        queue.append(v)
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """Induced subgraph on the largest weakly connected component.
+
+    Vertices are renumbered densely, preserving relative order, so the
+    result is independent of traversal order.
+    """
+    components = weakly_connected_components(graph)
+    if not components:
+        return graph
+    keep = sorted(components[0])
+    new_id = {v: i for i, v in enumerate(keep)}
+    edges = []
+    for u, v, w in graph.edges():
+        if u in new_id and v in new_id:
+            if graph.weighted:
+                edges.append((new_id[u], new_id[v], w))
+            else:
+                edges.append((new_id[u], new_id[v]))
+    return Graph.from_edges(
+        len(keep), edges, directed=graph.directed, weighted=graph.weighted
+    )
+
+
+def induced_subgraph(graph: Graph, vertices: Sequence[int]) -> Graph:
+    """Induced subgraph on ``vertices`` (renumbered densely in given order)."""
+    new_id = {v: i for i, v in enumerate(vertices)}
+    if len(new_id) != len(vertices):
+        raise ValueError("vertices must be distinct")
+    edges = []
+    for u, v, w in graph.edges():
+        iu, iv = new_id.get(u), new_id.get(v)
+        if iu is not None and iv is not None:
+            if graph.weighted:
+                edges.append((iu, iv, w))
+            else:
+                edges.append((iu, iv))
+    return Graph.from_edges(
+        len(vertices), edges, directed=graph.directed, weighted=graph.weighted
+    )

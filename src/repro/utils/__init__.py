@@ -1,0 +1,33 @@
+"""Small shared utilities: timing, validation, table rendering.
+
+These helpers are deliberately dependency-free so that every other
+subpackage (graphs, core, baselines, bench) can use them without import
+cycles.
+"""
+
+from repro.utils.timer import Timer, format_duration
+from repro.utils.validation import (
+    check_index,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_vertex,
+)
+from repro.utils.prettyprint import (
+    format_bytes,
+    format_count,
+    render_table,
+)
+
+__all__ = [
+    "Timer",
+    "format_duration",
+    "check_index",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_vertex",
+    "format_bytes",
+    "format_count",
+    "render_table",
+]

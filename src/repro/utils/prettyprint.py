@@ -1,0 +1,87 @@
+"""Plain-text table rendering for the benchmark drivers.
+
+The paper reports its evaluation as tables (Table 6, 7, 8) and series
+(Figures 8-10).  The drivers in :mod:`repro.bench` produce rows of
+cells; this module turns them into aligned monospace tables so the
+harness output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with binary units.
+
+    >>> format_bytes(512)
+    '512B'
+    >>> format_bytes(2048)
+    '2.0KB'
+    >>> format_bytes(3 * 1024 * 1024)
+    '3.0MB'
+    """
+    if num_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_count(count: float) -> str:
+    """Render a count compactly: 950 -> '950', 5_300_000 -> '5.3M'.
+
+    >>> format_count(950)
+    '950'
+    >>> format_count(62_000)
+    '62.0K'
+    >>> format_count(5_300_000)
+    '5.3M'
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count < 1000:
+        return str(int(count))
+    if count < 1_000_000:
+        return f"{count / 1000:.1f}K"
+    if count < 1_000_000_000:
+        return f"{count / 1_000_000:.1f}M"
+    return f"{count / 1_000_000_000:.2f}B"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Cells are stringified with ``str``; ``None`` renders as ``—`` which
+    mirrors the paper's convention for methods that failed to finish.
+    """
+    str_rows = [["—" if cell is None else str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Wall-clock timing helpers used by builders and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """A restartable stopwatch.
+
+    The timer can be used either imperatively::
+
+        t = Timer()
+        t.start()
+        ...
+        elapsed = t.stop()
+
+    or as a context manager::
+
+        with Timer() as t:
+            ...
+        print(t.elapsed)
+
+    Repeated ``start``/``stop`` cycles accumulate into :attr:`elapsed`,
+    which makes it convenient for timing only selected phases of an
+    iterative computation (e.g. generation vs. pruning inside one
+    indexing iteration).
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> "Timer":
+        """Begin (or resume) timing.  Starting twice is an error."""
+        if self._started_at is not None:
+            raise RuntimeError("Timer is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the total accumulated elapsed seconds."""
+        if self._started_at is None:
+            raise RuntimeError("Timer is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time.  The timer must be stopped."""
+        if self._started_at is not None:
+            raise RuntimeError("cannot reset a running Timer")
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently accumulating time."""
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"Timer({format_duration(self.elapsed)}, {state})"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with a unit that keeps 2-4 significant digits.
+
+    >>> format_duration(0.0000021)
+    '2.1us'
+    >>> format_duration(0.0042)
+    '4.2ms'
+    >>> format_duration(3.5)
+    '3.50s'
+    >>> format_duration(75)
+    '1m15s'
+    """
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{int(rem)}s"

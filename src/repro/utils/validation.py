@@ -1,0 +1,41 @@
+"""Argument validation helpers.
+
+Centralising these checks keeps error messages uniform across the
+library and makes the public API fail fast with clear diagnostics
+instead of producing silently wrong indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+
+
+def check_index(name: str, value: int, size: int) -> None:
+    """Raise ``IndexError`` unless ``0 <= value < size``."""
+    if not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if not 0 <= value < size:
+        raise IndexError(f"{name}={value} out of range [0, {size})")
+
+
+def check_vertex(graph: Any, vertex: int) -> None:
+    """Raise unless ``vertex`` is a valid vertex id of ``graph``."""
+    check_index("vertex", vertex, graph.num_vertices)

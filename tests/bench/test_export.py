@@ -1,0 +1,31 @@
+"""Tests for CSV export of the table drivers."""
+
+import csv
+
+from repro.bench import table7
+from repro.bench.export import write_csv
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.csv"
+        n = write_csv(path, ["a", "b"], [[1, 2], [3, None]])
+        assert n == 2
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", ""]]
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "e.csv"
+        assert write_csv(path, ["x"], []) == 0
+
+
+class TestDriverCsv:
+    def test_table7_to_csv(self, tmp_path):
+        result = table7.Table7([table7.run_one("enron")])
+        path = tmp_path / "t7.csv"
+        assert result.to_csv(path) == 1
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "Graph"
+        assert rows[1][0] == "enron"

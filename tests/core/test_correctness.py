@@ -1,0 +1,144 @@
+"""Cross-cutting exactness properties (Theorems 1, 3, 5; Lemma 8).
+
+The central contract: for every builder strategy, rule set, graph kind
+and ranking, the index answers every pair query exactly.  Also the
+canonical-labeling identity: on any graph, with the same ranking,
+HopDb's pruned index IS the PLL index (labels equal element-wise on
+unweighted inputs).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.apsp import APSPOracle
+from repro.baselines.pll import build_pll
+from repro.core.hybrid import make_builder
+from repro.core.ranking import make_ranking, random_ranking
+from repro.graphs.transform import permute_vertices, random_permutation
+from tests.conftest import graph_strategy, random_graph
+
+STRATEGIES = ("stepping", "doubling", "hybrid")
+
+
+class TestExactness:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy())
+    def test_all_pairs_exact(self, strategy, g):
+        truth = APSPOracle(g)
+        idx = make_builder(g, strategy).build().index
+        for s in range(g.num_vertices):
+            for t in range(g.num_vertices):
+                assert idx.query(s, t) == truth.query(s, t)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy())
+    def test_exact_under_random_ranking(self, g):
+        """Correctness never depends on the ranking (Section 7)."""
+        truth = APSPOracle(g)
+        ranking = random_ranking(g, seed=5)
+        idx = make_builder(g, "hybrid", ranking=ranking).build().index
+        for s in range(g.num_vertices):
+            for t in range(g.num_vertices):
+                assert idx.query(s, t) == truth.query(s, t)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_without_pruning(self, seed):
+        """Pruning off: bigger index, same answers (Theorem 1)."""
+        g = random_graph(seed, max_n=25)
+        truth = APSPOracle(g)
+        idx = make_builder(g, "stepping", prune=False).build().index
+        for s in range(g.num_vertices):
+            for t in range(g.num_vertices):
+                assert idx.query(s, t) == truth.query(s, t)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_with_betweenness_ranking(self, seed):
+        g = random_graph(seed, max_n=20)
+        truth = APSPOracle(g)
+        ranking = make_ranking(g, "betweenness", num_samples=8)
+        idx = make_builder(g, "hybrid", ranking=ranking).build().index
+        for s in range(g.num_vertices):
+            for t in range(g.num_vertices):
+                assert idx.query(s, t) == truth.query(s, t)
+
+
+class TestCanonicalIdentity:
+    """HopDb with pruning == PLL canonical labeling (same ranking)."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @settings(max_examples=50, deadline=None)
+    @given(graph_strategy(weighted=False))
+    def test_labels_equal_pll(self, strategy, g):
+        pll, _ = build_pll(g)
+        hop = make_builder(g, strategy).build().index
+        assert hop.out_labels == pll.out_labels
+        assert hop.in_labels == pll.in_labels
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy(weighted=True))
+    def test_sizes_close_to_pll_weighted(self, g):
+        """On weighted graphs tie-breaking may differ slightly, but the
+        two canonical-style indexes stay within a few entries."""
+        pll, _ = build_pll(g)
+        hop = make_builder(g, "hybrid").build().index
+        a, b = hop.total_entries(), pll.total_entries()
+        assert abs(a - b) <= max(4, 0.15 * max(a, b))
+
+
+class TestMinimality:
+    """Canonical labelings are minimal: deleting any non-trivial entry
+    breaks some query (Section 2.1)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_entry_is_needed(self, seed):
+        g = random_graph(seed, max_n=12, weighted=False)
+        truth = APSPOracle(g)
+        result = make_builder(g, "hybrid").build()
+        idx = result.index
+        n = g.num_vertices
+
+        def queries_all_exact(index) -> bool:
+            return all(
+                index.query(s, t) == truth.query(s, t)
+                for s in range(n)
+                for t in range(n)
+            )
+
+        assert queries_all_exact(idx)
+        from repro.core.labels import LabelIndex
+
+        for v in range(n):
+            for i, (pivot, _) in enumerate(idx.out_labels[v]):
+                if pivot == v:
+                    continue
+                mutated_out = [list(lab) for lab in idx.out_labels]
+                del mutated_out[v][i]
+                if g.directed:
+                    mutated = LabelIndex(
+                        n, True, mutated_out, idx.in_labels, idx.rank
+                    )
+                else:
+                    mutated = LabelIndex(
+                        n, False, mutated_out, mutated_out, idx.rank
+                    )
+                assert not queries_all_exact(mutated), (
+                    f"entry (pivot {pivot}) in Lout({v}) is redundant"
+                )
+
+
+class TestPermutationInvariance:
+    """Vertex ids must not matter: relabeling the graph relabels the
+    answers."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_distances_commute_with_permutation(self, seed):
+        g = random_graph(seed, max_n=20, weighted=False)
+        n = g.num_vertices
+        perm = random_permutation(n, seed=seed + 100)
+        pg = permute_vertices(g, perm)
+        idx = make_builder(g, "hybrid").build().index
+        pidx = make_builder(pg, "hybrid").build().index
+        for s in range(n):
+            for t in range(n):
+                assert idx.query(s, t) == pidx.query(perm[s], perm[t])

@@ -1,0 +1,127 @@
+"""Tests for vertex ranking strategies."""
+
+import pytest
+
+from repro.core.ranking import (
+    Ranking,
+    betweenness_sample_ranking,
+    degree_ranking,
+    inout_product_ranking,
+    make_ranking,
+    random_ranking,
+)
+from repro.graphs.digraph import Graph
+from repro.graphs.generators import glp_graph, grid_graph, star_graph
+
+
+class TestRankingType:
+    def test_from_scores(self):
+        r = Ranking.from_scores([1.0, 5.0, 3.0])
+        assert r.vertex_at == [1, 2, 0]
+        assert r.rank_of == [2, 0, 1]
+
+    def test_ties_broken_by_id(self):
+        r = Ranking.from_scores([2.0, 2.0, 2.0])
+        assert r.vertex_at == [0, 1, 2]
+
+    def test_from_order_validates(self):
+        with pytest.raises(ValueError):
+            Ranking.from_order([0, 0, 1])
+
+    def test_outranks(self):
+        r = Ranking.from_order([2, 0, 1])
+        assert r.outranks(2, 0)
+        assert not r.outranks(1, 0)
+
+    def test_top(self):
+        r = Ranking.from_order([3, 1, 0, 2])
+        assert r.top(2) == [3, 1]
+
+    def test_len(self):
+        assert len(Ranking.from_order([0, 1])) == 2
+
+
+class TestDegreeRanking:
+    def test_star_center_first(self):
+        r = degree_ranking(star_graph(6))
+        assert r.vertex_at[0] == 0
+
+    def test_covers_all_vertices(self):
+        g = glp_graph(100, seed=0)
+        r = degree_ranking(g)
+        assert sorted(r.vertex_at) == list(range(100))
+
+
+class TestInOutRanking:
+    def test_prefers_balanced_hubs(self):
+        # Vertex 1: 2 in x 2 out = 4; vertex 0: 4 out x 0 in = 0.
+        edges = [(0, 2), (0, 3), (0, 4), (0, 1), (2, 1), (1, 5), (1, 6)]
+        g = Graph.from_edges(7, edges, directed=True)
+        r = inout_product_ranking(g)
+        assert r.vertex_at[0] == 1
+
+    def test_tie_break_by_total_degree(self):
+        # Both products zero; vertex 0 has larger total degree.
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)], directed=True)
+        r = inout_product_ranking(g)
+        assert r.vertex_at[0] == 0
+
+
+class TestRandomRanking:
+    def test_deterministic_by_seed(self):
+        g = glp_graph(50, seed=0)
+        assert random_ranking(g, seed=4).vertex_at == random_ranking(
+            g, seed=4
+        ).vertex_at
+
+    def test_differs_across_seeds(self):
+        g = glp_graph(50, seed=0)
+        assert random_ranking(g, seed=1).vertex_at != random_ranking(
+            g, seed=2
+        ).vertex_at
+
+
+class TestBetweennessRanking:
+    def test_grid_center_outranks_corner(self):
+        g = grid_graph(7, 7)
+        r = betweenness_sample_ranking(g, num_samples=49, seed=0)
+        center = 3 * 7 + 3
+        corner = 0
+        assert r.rank_of[center] < r.rank_of[corner]
+
+    def test_weighted_graph_supported(self):
+        g = Graph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0)], weighted=True
+        )
+        r = betweenness_sample_ranking(g, seed=0)
+        assert len(r) == 4
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, [])
+        assert len(betweenness_sample_ranking(g)) == 0
+
+
+class TestMakeRanking:
+    def test_auto_directed_uses_inout(self):
+        g = glp_graph(60, seed=1, directed=True)
+        auto = make_ranking(g, "auto")
+        assert auto.vertex_at == inout_product_ranking(g).vertex_at
+
+    def test_auto_undirected_uses_degree(self):
+        g = glp_graph(60, seed=1)
+        auto = make_ranking(g, "auto")
+        assert auto.vertex_at == degree_ranking(g).vertex_at
+
+    def test_unknown_strategy(self):
+        g = glp_graph(10, seed=0)
+        with pytest.raises(ValueError, match="unknown ranking"):
+            make_ranking(g, "pagerank")
+
+    def test_effectiveness_degree_beats_random(self):
+        """The Section 2 claim: degree ranking yields smaller covers."""
+        from repro.core.hybrid import HybridBuilder
+
+        g = glp_graph(250, seed=9)
+        by_degree = HybridBuilder(g, ranking="degree").build().index
+        by_random = HybridBuilder(g, ranking="random").build().index
+        assert by_degree.total_entries() < by_random.total_entries()

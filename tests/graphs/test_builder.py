@@ -1,0 +1,88 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.graphs.builder import GraphBuilder
+
+
+class TestMappingMode:
+    def test_string_labels_interned_in_order(self):
+        b = GraphBuilder(directed=False)
+        b.add_edge("alice", "bob")
+        b.add_edge("bob", "carol")
+        g = b.build()
+        assert g.num_vertices == 3
+        assert b.labels == ["alice", "bob", "carol"]
+        assert b.vertex_ids == {"alice": 0, "bob": 1, "carol": 2}
+
+    def test_isolated_vertex_via_add_vertex(self):
+        b = GraphBuilder()
+        b.add_vertex("lonely")
+        b.add_edge("a", "b")
+        g = b.build()
+        assert g.num_vertices == 3
+        assert g.degree(0) == 0
+
+    def test_mixed_hashable_labels(self):
+        b = GraphBuilder()
+        b.add_edge((1, 2), "x")
+        g = b.build()
+        assert g.num_vertices == 2
+
+
+class TestDenseMode:
+    def test_dense_ids(self):
+        b = GraphBuilder(num_vertices=4, directed=True)
+        b.add_edge(0, 3)
+        g = b.build()
+        assert g.num_vertices == 4
+        assert g.has_edge(0, 3)
+
+    def test_dense_rejects_out_of_range(self):
+        b = GraphBuilder(num_vertices=2)
+        with pytest.raises(ValueError):
+            b.add_edge(0, 5)
+
+    def test_dense_rejects_non_int(self):
+        b = GraphBuilder(num_vertices=2)
+        with pytest.raises(TypeError):
+            b.add_edge("a", 0)
+
+
+class TestWeighted:
+    def test_weights_carried(self):
+        b = GraphBuilder(weighted=True)
+        b.add_edge("a", "b", 2.5)
+        g = b.build()
+        assert g.edge_weight(0, 1) == 2.5
+
+    def test_nonpositive_weight_rejected(self):
+        b = GraphBuilder(weighted=True)
+        with pytest.raises(ValueError):
+            b.add_edge("a", "b", 0.0)
+
+
+class TestLifecycle:
+    def test_add_edges_bulk(self):
+        b = GraphBuilder(num_vertices=4)
+        b.add_edges([(0, 1), (1, 2), (2, 3)])
+        assert len(b) == 3
+        assert b.build().num_edges == 3
+
+    def test_add_edges_with_weights(self):
+        b = GraphBuilder(num_vertices=3, weighted=True)
+        b.add_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        g = b.build()
+        assert g.edge_weight(1, 2) == 3.0
+
+    def test_build_twice_fails(self):
+        b = GraphBuilder(num_vertices=1)
+        b.build()
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_add_after_build_fails(self):
+        b = GraphBuilder(num_vertices=2)
+        b.build()
+        with pytest.raises(RuntimeError):
+            b.add_edge(0, 1)

@@ -1,0 +1,82 @@
+"""Round-trip tests for graph I/O."""
+
+import pytest
+
+from repro.graphs.digraph import Graph
+from repro.graphs.io import (
+    read_binary,
+    read_edge_list,
+    write_binary,
+    write_edge_list,
+)
+from tests.conftest import random_graph
+
+
+class TestEdgeList:
+    def test_round_trip_directed(self, tmp_path):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (3, 0)], directed=True)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path, directed=True)
+        assert loaded == g
+
+    def test_round_trip_weighted(self, tmp_path):
+        g = Graph.from_edges(
+            3, [(0, 1, 2.5), (1, 2, 0.5)], directed=False, weighted=True
+        )
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path, directed=False, weighted=True)
+        assert loaded == g
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n% konect style\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_string_labels_renumbered(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob\nbob carol\n")
+        g = read_edge_list(path, directed=False)
+        assert g.num_vertices == 3
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\njustone\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_edge_list(path)
+
+    def test_weighted_needs_weight_column(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError, match="weight"):
+            read_edge_list(path, weighted=True)
+
+    def test_gzip_round_trip(self, tmp_path):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+
+class TestBinary:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_round_trip_random(self, tmp_path, seed):
+        g = random_graph(seed)
+        path = tmp_path / "g.bin"
+        write_binary(g, path)
+        assert read_binary(path) == g
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(ValueError, match="magic"):
+            read_binary(path)
+
+    def test_empty_graph(self, tmp_path):
+        g = Graph.from_edges(0, [])
+        path = tmp_path / "empty.bin"
+        write_binary(g, path)
+        loaded = read_binary(path)
+        assert loaded.num_vertices == 0

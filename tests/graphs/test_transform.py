@@ -1,0 +1,115 @@
+"""Tests for graph transformations."""
+
+import pytest
+
+from repro.graphs.digraph import Graph
+from repro.graphs.transform import (
+    induced_subgraph,
+    largest_connected_component,
+    permute_vertices,
+    random_permutation,
+    reverse_graph,
+    to_undirected,
+    weakly_connected_components,
+)
+from tests.conftest import random_graph
+
+
+class TestToUndirected:
+    def test_forgets_direction(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (1, 2)], directed=True)
+        u = to_undirected(g)
+        assert not u.directed
+        assert u.num_edges == 2  # antiparallel pair collapses
+
+    def test_identity_on_undirected(self):
+        g = Graph.from_edges(3, [(0, 1)], directed=False)
+        assert to_undirected(g) is g
+
+    def test_weighted_keeps_min(self):
+        g = Graph.from_edges(
+            2, [(0, 1, 5.0), (1, 0, 2.0)], directed=True, weighted=True
+        )
+        u = to_undirected(g)
+        assert u.edge_weight(0, 1) == 2.0
+
+
+class TestReverse:
+    def test_arcs_flip(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)], directed=True)
+        r = reverse_graph(g)
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert not r.has_edge(0, 1)
+
+    def test_double_reverse_identity(self):
+        g = random_graph(3, directed=True, weighted=False)
+        assert reverse_graph(reverse_graph(g)) == g
+
+    def test_undirected_unchanged(self):
+        g = Graph.from_edges(2, [(0, 1)], directed=False)
+        assert reverse_graph(g) is g
+
+
+class TestPermutation:
+    def test_permute_relabels(self):
+        g = Graph.from_edges(3, [(0, 1)], directed=True)
+        p = permute_vertices(g, [2, 0, 1])
+        assert p.has_edge(2, 0)
+
+    def test_invalid_permutation(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            permute_vertices(g, [0, 0])
+
+    def test_random_permutation_is_bijection(self):
+        perm = random_permutation(20, seed=3)
+        assert sorted(perm) == list(range(20))
+
+    def test_degree_multiset_invariant(self):
+        g = random_graph(5, weighted=False)
+        perm = random_permutation(g.num_vertices, seed=9)
+        p = permute_vertices(g, perm)
+        assert sorted(g.degree(v) for v in g.vertices()) == sorted(
+            p.degree(v) for v in p.vertices()
+        )
+
+
+class TestComponents:
+    def test_components_found(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)], directed=False)
+        comps = weakly_connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+
+    def test_directed_weak_connectivity(self):
+        g = Graph.from_edges(3, [(0, 1), (2, 1)], directed=True)
+        comps = weakly_connected_components(g)
+        assert len(comps) == 1
+
+    def test_lcc_extraction(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (4, 5)], directed=False)
+        lcc = largest_connected_component(g)
+        assert lcc.num_vertices == 3
+        assert lcc.num_edges == 2
+
+    def test_lcc_preserves_weights(self):
+        g = Graph.from_edges(
+            4, [(0, 1, 3.0), (2, 3, 1.0), (1, 0, 9.0)], directed=True,
+            weighted=True,
+        )
+        lcc = largest_connected_component(g)
+        assert lcc.num_vertices == 2
+        assert lcc.weighted
+
+
+class TestInducedSubgraph:
+    def test_induced(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)], directed=False)
+        sub = induced_subgraph(g, [1, 2])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+
+    def test_duplicate_vertices_rejected(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            induced_subgraph(g, [0, 0])

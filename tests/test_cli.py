@@ -1,0 +1,103 @@
+"""End-to-end CLI tests (in-process via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    main(["generate", "glp", "-n", "200", "--density", "4",
+          "-o", str(path)])
+    return path
+
+
+class TestGenerate:
+    def test_generate_glp(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        rc = main(["generate", "glp", "-n", "100", "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("model", ["ba", "er"])
+    def test_other_models(self, tmp_path, model):
+        out = tmp_path / "g.txt"
+        assert main(["generate", model, "-n", "50", "-o", str(out)]) == 0
+
+    def test_directed_flag(self, tmp_path):
+        out = tmp_path / "g.txt"
+        main(["generate", "glp", "-n", "50", "--directed", "-o", str(out)])
+        from repro.graphs.io import read_edge_list
+
+        assert read_edge_list(out, directed=True).num_edges > 0
+
+
+class TestStats:
+    def test_stats_output(self, graph_file, capsys):
+        rc = main(["stats", str(graph_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "|V|" in out
+        assert "rank exponent" in out
+
+
+class TestBuildAndQuery:
+    def test_build_then_query(self, graph_file, tmp_path, capsys):
+        idx = tmp_path / "g.idx"
+        rc = main(["build", str(graph_file), "-o", str(idx)])
+        assert rc == 0
+        assert idx.exists()
+        rc = main(["query", str(idx), "0", "10", "3", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dist(0, 10)" in out
+        assert "dist(3, 3) = 0" in out
+
+    def test_build_strategies(self, graph_file, tmp_path):
+        for strategy in ("stepping", "doubling", "hybrid"):
+            idx = tmp_path / f"{strategy}.idx"
+            rc = main([
+                "build", str(graph_file), "-o", str(idx),
+                "--strategy", strategy,
+            ])
+            assert rc == 0
+
+    def test_query_odd_args_rejected(self, graph_file, tmp_path, capsys):
+        idx = tmp_path / "g.idx"
+        main(["build", str(graph_file), "-o", str(idx)])
+        rc = main(["query", str(idx), "0", "1", "2"])
+        assert rc == 2
+        assert "even number" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_choices(self):
+        args = build_parser().parse_args(["bench", "table7"])
+        assert args.target == "table7"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "table99"])
+
+
+class TestVerify:
+    def test_verify_good_index(self, graph_file, tmp_path, capsys):
+        idx = tmp_path / "g.idx"
+        main(["build", str(graph_file), "-o", str(idx)])
+        rc = main(["verify", str(graph_file), str(idx)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_wrong_graph_fails(self, graph_file, tmp_path, capsys):
+        idx = tmp_path / "g.idx"
+        main(["build", str(graph_file), "-o", str(idx)])
+        other = tmp_path / "other.txt"
+        main(["generate", "glp", "-n", "200", "--density", "4",
+              "--seed", "9", "-o", str(other)])
+        rc = main(["verify", str(other), str(idx)])
+        assert rc == 1
+        assert "violation" in capsys.readouterr().out
