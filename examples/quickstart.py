@@ -6,14 +6,14 @@ Run with::
 
 Covers the 60-second tour of the library: generate a scale-free graph,
 build the index with the paper's default hybrid strategy, query
-distances, reconstruct a shortest path, and round-trip the index
-through its binary format.
+distances through the DistanceOracle serving facade, reconstruct a
+shortest path, and round-trip the index through its binary formats.
 """
 
 import tempfile
 from pathlib import Path
 
-from repro import HopDoublingIndex, INF
+from repro import DistanceOracle, HopDoublingIndex, INF
 from repro.graphs import glp_graph
 from repro.graphs.traversal import bfs_distances
 
@@ -35,29 +35,40 @@ def main() -> None:
         f"{index.size_in_bytes() / 1024:.0f} KB)"
     )
 
-    # 3. Point-to-point queries: exact distances from two label lookups.
+    # 3. Serve queries through the oracle facade.  `oracle()` packs the
+    #    labels into the CSR flat store (the fast backend) and layers
+    #    an LRU result cache plus batched evaluation on top.
+    oracle = index.oracle()
     for s, t in [(0, 1999), (17, 1234), (3, 3)]:
-        d = index.query(s, t)
+        d = oracle.query(s, t)
         shown = "unreachable" if d == INF else f"{d:g} hops"
         print(f"  dist({s:>4}, {t:>4}) = {shown}")
 
-    # 4. Sanity: agree with plain BFS.
+    # 4. Sanity: agree with plain BFS — evaluated as one batch.
     bfs = bfs_distances(graph, 0)
-    assert all(index.query(0, t) == bfs[t] for t in range(graph.num_vertices))
-    print("verified against BFS from vertex 0")
+    batch = oracle.query_batch([(0, t) for t in range(graph.num_vertices)])
+    assert batch == bfs
+    print("verified against BFS from vertex 0 (one query_batch call)")
 
     # 5. The index stores distances; paths are reconstructed on demand.
     path = index.query_path(17, 1234)
     print(f"one shortest path 17 -> 1234: {path}")
 
-    # 6. Save and reload.
+    # 6. Save, convert to the flat-array format v2, and reload.
     with tempfile.TemporaryDirectory() as tmp:
-        path_file = Path(tmp) / "quickstart.index"
-        index.save(path_file)
-        reloaded = HopDoublingIndex.load(path_file)
-        assert reloaded.query(17, 1234) == index.query(17, 1234)
-        print(f"round-tripped through {path_file.name} "
-              f"({path_file.stat().st_size / 1024:.0f} KB on disk)")
+        v1 = Path(tmp) / "quickstart.index"
+        v2 = Path(tmp) / "quickstart.index2"
+        index.save(v1)                    # format v1 (per-entry structs)
+        index.save(v2, format="v2")       # format v2 (flat-array blobs)
+        from_v1 = DistanceOracle.open(v1)
+        reloaded = DistanceOracle.open(v2, use_mmap=True)
+        assert from_v1.query(17, 1234) == oracle.query(17, 1234)
+        assert reloaded.query(17, 1234) == oracle.query(17, 1234)
+        print(f"round-tripped through {v2.name} "
+              f"({v2.stat().st_size / 1024:.0f} KB on disk, mmap-loaded)")
+        # Release the mapping before the tempdir is deleted (required
+        # on Windows, where a mapped file cannot be removed).
+        reloaded.close()
 
 
 if __name__ == "__main__":

@@ -22,14 +22,26 @@ Subpackages
                      hybrid), pruning, bit-parallel labels, query engine
 ``repro.io_sim``     external-memory (I/O-cost) simulation of Section 4
 ``repro.baselines``  PLL, IS-Label, HCL-lite, bidirectional search, APSP
+``repro.oracle``     the batched DistanceOracle serving layer
 ``repro.bench``      harness regenerating every table and figure of
                      Section 8
 """
 
+from repro.core.flatstore import FlatLabelStore
 from repro.core.index import HopDoublingIndex
-from repro.core.labels import INF, LabelIndex
+from repro.core.labels import INF, LabelIndex, LabelStore
 from repro.graphs.digraph import Graph
+from repro.oracle import DistanceOracle
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["HopDoublingIndex", "LabelIndex", "Graph", "INF", "__version__"]
+__all__ = [
+    "HopDoublingIndex",
+    "LabelIndex",
+    "LabelStore",
+    "FlatLabelStore",
+    "DistanceOracle",
+    "Graph",
+    "INF",
+    "__version__",
+]

@@ -3,7 +3,10 @@
 Subcommands::
 
     repro build GRAPH -o INDEX [--directed] [--weighted] [--strategy S]
-    repro query INDEX S T [S T ...]
+                               [--format {v1,v2}]
+    repro query INDEX [S T ...] [--batch FILE] [--backend {flat,list}]
+                               [--mmap]
+    repro convert INDEX -o OUTPUT [--format {v1,v2}]
     repro stats GRAPH [--directed] [--weighted]
     repro generate MODEL -n N -o GRAPH [--density D] [--seed K]
     repro verify GRAPH INDEX [--samples N]
@@ -11,7 +14,11 @@ Subcommands::
                  assumptions,all}
 
 ``GRAPH`` files are text edge lists (``u v [w]`` per line, ``#``
-comments); ``INDEX`` files use the library's binary label format.
+comments); ``INDEX`` files use the library's binary label formats
+(v1 per-entry structs, v2 flat-array blobs — ``repro convert``
+translates between them).  Queries are served through the
+:class:`~repro.oracle.DistanceOracle` facade; ``--batch FILE``
+evaluates one ``s t`` pair per line with grouped merge joins.
 """
 
 from __future__ import annotations
@@ -43,21 +50,102 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"avg |label| {stats.avg_label_size:.1f}, "
         f"{format_bytes(index.size_in_bytes())}"
     )
-    index.save(args.output)
-    print(f"index written to {args.output}")
+    index.save(args.output, format=args.format)
+    print(f"index written to {args.output} (format {args.format})")
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = HopDoublingIndex.load(args.index)
+    from repro.oracle import DistanceOracle, read_pair_file
+
+    # Validate the invocation before paying for the index load.
     if len(args.pair) % 2 != 0:
         print("error: provide an even number of vertex ids", file=sys.stderr)
         return 2
-    for i in range(0, len(args.pair), 2):
-        s, t = args.pair[i], args.pair[i + 1]
-        d = index.query(s, t)
-        shown = "unreachable" if d == float("inf") else f"{d:g}"
-        print(f"dist({s}, {t}) = {shown}")
+    if not args.pair and not args.batch:
+        print("error: provide vertex pairs or --batch FILE", file=sys.stderr)
+        return 2
+    if args.mmap and args.backend == "list":
+        print(
+            "warning: --mmap has no effect with --backend list "
+            "(tuple lists are materialized in memory)",
+            file=sys.stderr,
+        )
+    batch_pairs = None
+    if args.batch:
+        try:
+            batch_pairs = read_pair_file(args.batch)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        oracle = DistanceOracle.open(
+            args.index, backend=args.backend, use_mmap=args.mmap
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if (
+        args.mmap
+        and args.backend == "flat"
+        and not getattr(oracle.store, "is_mmapped", False)
+    ):
+        print(
+            f"warning: --mmap not in effect for {args.index} (v1 file, or "
+            "platform without zero-copy support); loaded into memory "
+            "instead — see `repro convert` for format v2",
+            file=sys.stderr,
+        )
+    try:
+        for i in range(0, len(args.pair), 2):
+            s, t = args.pair[i], args.pair[i + 1]
+            d = oracle.query(s, t)
+            shown = "unreachable" if d == float("inf") else f"{d:g}"
+            print(f"dist({s}, {t}) = {shown}")
+        if batch_pairs is not None:
+            import time
+
+            pairs = batch_pairs
+            t0 = time.perf_counter()
+            distances = oracle.query_batch(pairs)
+            elapsed = time.perf_counter() - t0
+            for (s, t), d in zip(pairs, distances):
+                shown = "inf" if d == float("inf") else f"{d:g}"
+                print(f"{s}\t{t}\t{shown}")
+            rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
+            print(
+                f"answered {len(pairs)} pairs in {format_duration(elapsed)} "
+                f"({rate:,.0f} pairs/s)",
+                file=sys.stderr,
+            )
+    except IndexError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        oracle.close()
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.flatstore import load_store
+
+    try:
+        store = load_store(args.index, prefer_flat=True)
+        if args.format == "v2":
+            store.save(args.output)
+        else:
+            store.to_index().save(args.output)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    src = os.path.getsize(args.index)
+    dst = os.path.getsize(args.output)
+    print(
+        f"converted {args.index} ({format_bytes(src)}) -> "
+        f"{args.output} ({format_bytes(dst)}, format {args.format})"
+    )
     return 0
 
 
@@ -163,12 +251,47 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "degree", "inout", "random", "betweenness"],
         default="auto",
     )
+    p.add_argument(
+        "--format",
+        choices=["v1", "v2"],
+        default="v1",
+        help="index file format (v2 = flat-array blobs)",
+    )
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("query", help="query a built index")
     p.add_argument("index", help="index file from `repro build`")
-    p.add_argument("pair", nargs="+", type=int, help="s t [s t ...]")
+    p.add_argument("pair", nargs="*", type=int, help="s t [s t ...]")
+    p.add_argument(
+        "--batch",
+        metavar="FILE",
+        help="evaluate one 's t' pair per line of FILE (batched path)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["flat", "list"],
+        default="flat",
+        help="in-memory label storage backend (default: flat CSR)",
+    )
+    p.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map a v2 index instead of reading it",
+    )
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "convert", help="convert an index file between formats v1 and v2"
+    )
+    p.add_argument("index", help="index file in either format")
+    p.add_argument("-o", "--output", required=True, help="converted output")
+    p.add_argument(
+        "--format",
+        choices=["v1", "v2"],
+        default="v2",
+        help="target format (default: v2 flat-array)",
+    )
+    p.set_defaults(func=_cmd_convert)
 
     p = sub.add_parser("stats", help="profile a graph (scale-free checks)")
     p.add_argument("graph", help="edge-list file")
@@ -218,8 +341,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    # `query` takes both a variadic int positional and options; argparse
+    # cannot backtrack into a zero-width positional once it has seen an
+    # option (`query IDX --mmap 0 5` leaves `0 5` unparsed), and
+    # parse_intermixed_args does not support subparsers.  Recover the
+    # stranded vertex ids by hand so either argument order works.
+    args, extra = parser.parse_known_args(argv)
+    if extra:
+        if getattr(args, "command", None) == "query" and all(
+            _is_int(tok) for tok in extra
+        ):
+            args.pair.extend(int(tok) for tok in extra)
+        else:
+            parser.error(f"unrecognized arguments: {' '.join(extra)}")
     return args.func(args)
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True
 
 
 if __name__ == "__main__":

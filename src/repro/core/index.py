@@ -131,14 +131,54 @@ class HopDoublingIndex:
         return self.labels.size_in_bytes()
 
     # -- persistence --------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        """Persist the plain 2-hop labels (bit-parallel side not saved)."""
-        self.labels.save(path)
+    def save(self, path: str | Path, format: str = "v1") -> None:
+        """Persist the plain 2-hop labels (bit-parallel side not saved).
+
+        ``format="v1"`` writes the per-entry struct format;
+        ``format="v2"`` writes the flat-array blobs of
+        :mod:`repro.core.flatstore` (same contents, bulk-loadable).
+        Both writes are atomic.  ``repro convert`` translates between
+        the two on disk.
+        """
+        if format == "v1":
+            self.labels.save(path)
+        elif format == "v2":
+            from repro.core.flatstore import FlatLabelStore
+
+            FlatLabelStore.from_index(self.labels).save(path)
+        else:
+            raise ValueError(f"unknown index format {format!r}")
 
     @classmethod
     def load(cls, path: str | Path) -> "HopDoublingIndex":
-        """Load an index saved with :meth:`save`."""
+        """Load an index saved with :meth:`save` (either format)."""
         return cls(LabelIndex.load(path))
+
+    # -- serving ------------------------------------------------------------------
+    def oracle(self, backend: str = "flat", graph: Graph | None = None,
+               **kwargs):
+        """A :class:`~repro.oracle.DistanceOracle` serving this index.
+
+        ``backend="flat"`` (default) packs the labels into the CSR
+        store for the fast query path; ``"list"`` serves the tuple
+        lists as-is.  Keyword arguments (``cache_size`` …) pass
+        through to the oracle.  For path reconstruction the build
+        graph, when retained, is attached automatically; pass
+        ``graph=`` to attach one to a disk-loaded index.
+        """
+        from repro.oracle import DistanceOracle
+
+        if backend == "flat":
+            from repro.core.flatstore import FlatLabelStore
+
+            store = FlatLabelStore.from_index(self.labels)
+        elif backend == "list":
+            store = self.labels
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        if graph is None:
+            graph = self._graph
+        return DistanceOracle(store, graph=graph, **kwargs)
 
     def __repr__(self) -> str:
         bp = ", bit-parallel" if self.bitparallel is not None else ""

@@ -24,22 +24,22 @@ from __future__ import annotations
 
 import heapq
 
-from repro.core.labels import INF, LabelIndex
+from repro.core.labels import INF, LabelStore
 
 
 class InvertedLabelIndex:
-    """One-to-many queries over a frozen :class:`LabelIndex`."""
+    """One-to-many queries over any frozen :class:`LabelStore` backend."""
 
-    def __init__(self, index: LabelIndex) -> None:
+    def __init__(self, index: LabelStore) -> None:
         self.index = index
         n = index.n
         self.inverted_in: dict[int, list[tuple[float, int]]] = {}
         self.inverted_out: dict[int, list[tuple[float, int]]] = {}
         for v in range(n):
-            for w, d in index.in_labels[v]:
+            for w, d in index.in_label(v):
                 self.inverted_in.setdefault(w, []).append((d, v))
             if index.directed:
-                for w, d in index.out_labels[v]:
+                for w, d in index.out_label(v):
                     self.inverted_out.setdefault(w, []).append((d, v))
         if not index.directed:
             self.inverted_out = self.inverted_in
@@ -52,7 +52,7 @@ class InvertedLabelIndex:
         """Distances from ``s`` to every vertex, via the labels only."""
         dist = [INF] * self.index.n
         dist[s] = 0.0
-        for w, d1 in self.index.out_labels[s]:
+        for w, d1 in self.index.out_label(s):
             for d2, v in self.inverted_in.get(w, ()):
                 d = d1 + d2
                 if d < dist[v]:
@@ -63,7 +63,7 @@ class InvertedLabelIndex:
         """Distances from every vertex to ``t`` (reverse one-to-all)."""
         dist = [INF] * self.index.n
         dist[t] = 0.0
-        for w, d2 in self.index.in_labels[t]:
+        for w, d2 in self.index.in_label(t):
             for d1, v in self.inverted_out.get(w, ()):
                 d = d1 + d2
                 if d < dist[v]:
@@ -83,8 +83,9 @@ class InvertedLabelIndex:
         if k <= 0:
             return []
         # Heap items: (candidate_dist, pivot_order, pivot, cursor).
+        source_label = self.index.out_label(s)
         heap: list[tuple[float, int, int, int]] = []
-        for order, (w, d1) in enumerate(self.index.out_labels[s]):
+        for order, (w, d1) in enumerate(source_label):
             entries = self.inverted_in.get(w)
             if entries:
                 heap.append((d1 + entries[0][0], order, w, 0))
@@ -93,7 +94,7 @@ class InvertedLabelIndex:
         best: dict[int, float] = {}
         result: list[tuple[float, int]] = []
         seen: set[int] = set()
-        pivot_d1 = dict(self.index.out_labels[s])
+        pivot_d1 = dict(source_label)
         while heap and len(result) < k + (0 if include_self else 1):
             d, order, w, cursor = heapq.heappop(heap)
             entries = self.inverted_in[w]

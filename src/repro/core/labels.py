@@ -23,13 +23,22 @@ Two families of classes live here:
   the end, optimized for merge-join queries, measurable in bytes using
   the paper's 32-bit-pivot + 8-bit-distance convention, and
   serializable to disk.
+
+:class:`LabelIndex` is also the reference implementation of the
+:class:`LabelStore` protocol — the storage-backend interface every
+query-side consumer (the :class:`~repro.oracle.DistanceOracle` facade,
+the inverted k-NN index, the disk-resident simulator) is written
+against.  The contiguous struct-of-arrays backend lives in
+:mod:`repro.core.flatstore`.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.utils.atomicio import atomic_binary_writer
 
 INF = float("inf")
 
@@ -226,6 +235,54 @@ _MAGIC = b"RPLI"
 _VERSION = 1
 
 
+@runtime_checkable
+class LabelStore(Protocol):
+    """Read-side contract of a frozen 2-hop label store.
+
+    A store presents each vertex's out-/in-label as a sequence of
+    ``(pivot, dist)`` pairs **sorted by pivot id** and answers distance
+    queries over them.  Consumers (the oracle facade, the inverted
+    k-NN index, the disk simulator, the verifier) accept any
+    implementation; :class:`LabelIndex` (lists of tuples) and
+    :class:`repro.core.flatstore.FlatLabelStore` (contiguous CSR
+    arrays) are the two shipped backends.
+
+    For undirected stores ``in_label(v)`` must return the same label
+    as ``out_label(v)`` (the Section 7 single-store aliasing).
+    """
+
+    n: int
+    directed: bool
+
+    def out_label(self, v: int) -> Sequence[tuple[int, float]]:
+        """``Lout(v)`` as (pivot, dist) pairs sorted by pivot."""
+        ...
+
+    def in_label(self, v: int) -> Sequence[tuple[int, float]]:
+        """``Lin(v)`` as (pivot, dist) pairs sorted by pivot."""
+        ...
+
+    def query(self, s: int, t: int) -> float:
+        """Exact ``dist(s, t)``; ``inf`` when unreachable."""
+        ...
+
+    def query_via(self, s: int, t: int) -> tuple[float, int]:
+        """``(dist, best_pivot)``; pivot is -1 when unreachable."""
+        ...
+
+    def total_entries(self, include_trivial: bool = False) -> int:
+        """Total label entries."""
+        ...
+
+    def size_in_bytes(self) -> int:
+        """Index size under the paper's 5-bytes-per-entry convention."""
+        ...
+
+    def save(self, path) -> None:
+        """Persist the store to disk (atomically)."""
+        ...
+
+
 @dataclass(frozen=True)
 class LabelStats:
     """Size statistics of a frozen index (feeds Tables 6-7, Figure 8)."""
@@ -308,6 +365,8 @@ class LabelIndex:
         Useful for path reconstruction: the pivot is the highest-ranked
         vertex on a shortest ``s -> t`` path.
         """
+        if not 0 <= s < self.n or not 0 <= t < self.n:
+            raise IndexError(f"query ({s}, {t}) out of range [0, {self.n})")
         if s == t:
             return 0.0, s
         best = INF
@@ -334,6 +393,15 @@ class LabelIndex:
     def label_of(self, v: int, out: bool = True) -> list[tuple[int, float]]:
         """The (pivot, dist) list of ``v``'s out- or in-label."""
         return list(self.out_labels[v] if out else self.in_labels[v])
+
+    # -- LabelStore accessors ------------------------------------------------
+    def out_label(self, v: int) -> list[tuple[int, float]]:
+        """``Lout(v)`` without copying (do not mutate)."""
+        return self.out_labels[v]
+
+    def in_label(self, v: int) -> list[tuple[int, float]]:
+        """``Lin(v)`` without copying (do not mutate)."""
+        return self.in_labels[v]
 
     # -- statistics ---------------------------------------------------------
     def total_entries(self, include_trivial: bool = False) -> int:
@@ -421,8 +489,13 @@ class LabelIndex:
 
     # -- serialization -------------------------------------------------------
     def save(self, path) -> None:
-        """Write the index to ``path`` in a compact binary format."""
-        with open(path, "wb") as fh:
+        """Write the index to ``path`` in binary format v1.
+
+        The write is atomic (temp file + rename): a crash mid-save
+        never leaves a truncated index behind.  For the flat-array
+        format v2 see :meth:`repro.core.flatstore.FlatLabelStore.save`.
+        """
+        with atomic_binary_writer(path) as fh:
             fh.write(_MAGIC)
             flags = 1 if self.directed else 0
             has_rank = 1 if self.rank is not None else 0
@@ -442,10 +515,13 @@ class LabelIndex:
 
     @classmethod
     def load(cls, path) -> "LabelIndex":
-        """Read an index previously written by :meth:`save`.
+        """Read an index from ``path``, whatever its format version.
 
-        Raises ``ValueError`` on anything that is not a complete index
-        file (wrong magic, unsupported version, truncation).
+        Version 1 files (this class's :meth:`save`) are read directly;
+        version 2 flat-array files are read through
+        :mod:`repro.core.flatstore` and expanded to lists.  Raises
+        ``ValueError`` on anything that is not a complete index file
+        (wrong magic, unsupported version, truncation).
         """
         try:
             with open(path, "rb") as fh:
@@ -454,6 +530,10 @@ class LabelIndex:
                 version, flags, has_rank, n = struct.unpack(
                     "<BBBI", fh.read(7)
                 )
+                if version == 2:
+                    from repro.core.flatstore import FlatLabelStore
+
+                    return FlatLabelStore.load(path).to_index()
                 if version != _VERSION:
                     raise ValueError(f"{path}: unsupported version {version}")
                 directed = bool(flags & 1)

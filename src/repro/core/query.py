@@ -1,4 +1,4 @@
-"""Query-side helpers on top of a frozen :class:`LabelIndex`.
+"""Query-side helpers on top of a frozen :class:`LabelStore` backend.
 
 A 2-hop index answers ``dist(s, t)`` by merging two sorted labels
 (Section 2).  This module adds the conveniences a downstream user
@@ -13,24 +13,34 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.core.labels import INF, LabelIndex
+from repro.core.labels import INF, LabelStore
 from repro.graphs.digraph import Graph
 
 
 def query_many(
-    index: LabelIndex, pairs: Iterable[tuple[int, int]]
+    index: LabelStore, pairs: Iterable[tuple[int, int]]
 ) -> list[float]:
-    """Evaluate ``dist(s, t)`` for every pair in order."""
-    return [index.query(s, t) for s, t in pairs]
+    """Evaluate ``dist(s, t)`` for every pair in order.
+
+    .. deprecated::
+        Prefer :meth:`repro.oracle.DistanceOracle.query_batch`, which
+        this now delegates to: it dedupes repeated pairs and groups
+        the rest by source vertex so CSR backends amortise the
+        source-side work.  This thin wrapper (cache-less, one-shot)
+        is kept for callers that hold a bare store.
+    """
+    from repro.oracle.batch import evaluate_batch
+
+    return evaluate_batch(index, pairs)
 
 
-def is_reachable(index: LabelIndex, s: int, t: int) -> bool:
+def is_reachable(index: LabelStore, s: int, t: int) -> bool:
     """Whether any path ``s -> t`` exists (distance is finite)."""
     return index.query(s, t) != INF
 
 
 def reconstruct_path(
-    index: LabelIndex, graph: Graph, s: int, t: int
+    index: LabelStore, graph: Graph, s: int, t: int
 ) -> list[int] | None:
     """Recover one shortest path ``s -> t`` using the index as an oracle.
 
@@ -66,7 +76,7 @@ def reconstruct_path(
 
 
 def closeness_centrality(
-    index: LabelIndex, v: int, targets: Sequence[int]
+    index: LabelStore, v: int, targets: Sequence[int]
 ) -> float:
     """Closeness of ``v`` over ``targets``: ``(reached) / sum(dist)``.
 
@@ -89,7 +99,7 @@ def closeness_centrality(
 
 
 def average_distance(
-    index: LabelIndex, pairs: Iterable[tuple[int, int]]
+    index: LabelStore, pairs: Iterable[tuple[int, int]]
 ) -> tuple[float, float]:
     """Mean distance over the connected pairs; returns (mean, connectivity).
 
@@ -112,7 +122,7 @@ def average_distance(
 
 
 def distance_histogram(
-    index: LabelIndex, pairs: Iterable[tuple[int, int]]
+    index: LabelStore, pairs: Iterable[tuple[int, int]]
 ) -> dict[float, int]:
     """Histogram of distances over ``pairs`` (INF bucket included).
 

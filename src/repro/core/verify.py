@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.core.labels import INF, LabelIndex
+from repro.core.labels import INF, LabelStore
 from repro.graphs.digraph import Graph
 from repro.graphs.traversal import bfs_distances, dijkstra_distances
 
@@ -50,12 +50,14 @@ class VerificationReport:
         )
 
 
-def _check_structure(index: LabelIndex, report: VerificationReport) -> None:
-    sides = [("out", index.out_labels)]
+def _check_structure(index: LabelStore, report: VerificationReport) -> None:
+    rank = getattr(index, "rank", None)
+    sides = [("out", index.out_label)]
     if index.directed:
-        sides.append(("in", index.in_labels))
-    for side, labels in sides:
-        for v, lab in enumerate(labels):
+        sides.append(("in", index.in_label))
+    for side, label_of in sides:
+        for v in range(index.n):
+            lab = label_of(v)
             pivots = [p for p, _ in lab]
             if pivots != sorted(pivots):
                 report.add(f"L{side}({v}) is not sorted by pivot")
@@ -64,9 +66,9 @@ def _check_structure(index: LabelIndex, report: VerificationReport) -> None:
             entries = dict(lab)
             if entries.get(v) != 0.0:
                 report.add(f"L{side}({v}) lacks the trivial (v, 0) entry")
-            if index.rank is not None:
+            if rank is not None:
                 for p, d in lab:
-                    if p != v and index.rank[p] >= index.rank[v]:
+                    if p != v and rank[p] >= rank[v]:
                         report.add(
                             f"L{side}({v}) pivot {p} does not outrank owner"
                         )
@@ -78,7 +80,7 @@ def _check_structure(index: LabelIndex, report: VerificationReport) -> None:
 
 def verify_index(
     graph: Graph,
-    index: LabelIndex,
+    index: LabelStore,
     samples: int = 200,
     seed: int = 0,
 ) -> VerificationReport:
@@ -121,7 +123,7 @@ def verify_index(
                     f"query({s}, {t}) = {got}, ground truth {truth[t]}"
                 )
         # Soundness: every out-label entry of s is an upper bound.
-        for p, d in index.out_labels[s]:
+        for p, d in index.out_label(s):
             report.checked_entries += 1
             true_d = truth[p]
             if true_d == INF or d < true_d:

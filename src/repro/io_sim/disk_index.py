@@ -3,9 +3,9 @@
 The paper's index is disk-based: answering ``dist(s, t)`` reads two
 label lists — ``Lout(s)`` and ``Lin(t)`` — each stored contiguously, so
 the cost is one seek plus ``ceil(|label| / B)`` sequential blocks per
-side.  :class:`DiskResidentIndex` lays a frozen
-:class:`~repro.core.labels.LabelIndex` out that way, charges exactly
-those blocks per query, and converts block counts into simulated
+side.  :class:`DiskResidentIndex` lays any frozen
+:class:`~repro.core.labels.LabelStore` backend out that way, charges
+exactly those blocks per query, and converts block counts into simulated
 latency with a configurable per-block cost (defaults approximating the
 paper's 7200 RPM SATA disk: ~5 ms for the seek-dominated first block,
 ~0.1 ms per additional sequential block).
@@ -13,7 +13,7 @@ paper's 7200 RPM SATA disk: ~5 ms for the seek-dominated first block,
 
 from __future__ import annotations
 
-from repro.core.labels import LabelIndex, merge_join_distance
+from repro.core.labels import LabelStore, merge_join_distance
 from repro.io_sim.diskmodel import DiskModel
 
 # Latency defaults (seconds): seek + rotational delay for the first
@@ -27,7 +27,7 @@ class DiskResidentIndex:
 
     def __init__(
         self,
-        index: LabelIndex,
+        index: LabelStore,
         disk: DiskModel | None = None,
         seek_seconds: float = DEFAULT_SEEK_SECONDS,
         block_seconds: float = DEFAULT_BLOCK_SECONDS,
@@ -45,8 +45,8 @@ class DiskResidentIndex:
         self.queries += 1
         if s == t:
             return 0.0
-        out_lab = self.index.out_labels[s]
-        in_lab = self.index.in_labels[t]
+        out_lab = self.index.out_label(s)
+        in_lab = self.index.in_label(t)
         for lab in (out_lab, in_lab):
             blocks = max(1, self.disk.blocks(len(lab)))
             self.disk.charge_block_reads(blocks)

@@ -1,0 +1,31 @@
+"""repro.oracle — the batched distance-query serving layer.
+
+The :class:`DistanceOracle` facade is the single entry point for
+answering queries over a built index: it attaches to any
+:class:`~repro.core.labels.LabelStore` backend (tuple-list or flat
+CSR), serves single-pair and batched point-to-point distances through
+an LRU result cache, and exposes reachability, path reconstruction,
+one-to-all, and k-NN on top.
+
+Quick start::
+
+    from repro.oracle import DistanceOracle
+
+    oracle = DistanceOracle.open("g.index")        # any format version
+    oracle.query(3, 4021)                          # exact distance
+    oracle.query_batch([(0, 9), (3, 4021), ...])   # grouped evaluation
+    oracle.nearest(3, k=10)                        # k-NN
+"""
+
+from repro.oracle.batch import evaluate_batch, read_pair_file
+from repro.oracle.cache import CacheInfo, LRUCache
+from repro.oracle.oracle import DEFAULT_CACHE_SIZE, DistanceOracle
+
+__all__ = [
+    "DistanceOracle",
+    "DEFAULT_CACHE_SIZE",
+    "LRUCache",
+    "CacheInfo",
+    "evaluate_batch",
+    "read_pair_file",
+]

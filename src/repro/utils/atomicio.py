@@ -1,0 +1,52 @@
+"""Atomic file replacement for index writers.
+
+Index files are written once and read many times; a crash mid-write
+must never leave a truncated file where a valid index used to be (or
+where ``load`` will later look).  The contract here is *atomic but
+fsync-free*: data is streamed to a temporary sibling in the same
+directory and moved into place with ``os.replace``, which is atomic on
+POSIX and Windows.  Durability against power loss is explicitly not
+promised — a rebuildable index does not warrant an fsync stall — only
+that readers see either the old complete file or the new complete one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Iterator
+
+# Sampled once at import, before any worker threads exist: toggling
+# the process-wide umask per save would race with other threads'
+# file creation.
+_UMASK = os.umask(0)
+os.umask(_UMASK)
+
+
+@contextlib.contextmanager
+def atomic_binary_writer(path: str | os.PathLike) -> Iterator[IO[bytes]]:
+    """Yield a binary file handle whose contents replace ``path`` atomically.
+
+    The temporary file lives next to the destination (same filesystem,
+    so the rename cannot degrade into a copy) under a unique name, so
+    concurrent writers to the same path cannot interleave — last
+    rename wins with a complete file either way.  On any exception the
+    temporary file is removed and the destination is left untouched.
+    """
+    target = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{target.name}.tmp.", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            yield fh
+        # mkstemp creates 0600; give the published file the ordinary
+        # umask-derived permissions a plain open() would have.
+        os.chmod(tmp, 0o666 & ~_UMASK)
+        os.replace(tmp, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise

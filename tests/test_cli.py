@@ -72,6 +72,139 @@ class TestBuildAndQuery:
         assert "even number" in capsys.readouterr().err
 
 
+class TestConvertAndBatch:
+    @pytest.fixture
+    def v1_index(self, graph_file, tmp_path):
+        idx = tmp_path / "g.idx"
+        main(["build", str(graph_file), "-o", str(idx)])
+        return idx
+
+    def test_convert_to_v2_and_query(self, v1_index, tmp_path, capsys):
+        v2 = tmp_path / "g.idx2"
+        rc = main(["convert", str(v1_index), "-o", str(v2)])
+        assert rc == 0
+        assert "format v2" in capsys.readouterr().out
+        rc = main(["query", str(v2), "0", "10"])
+        assert rc == 0
+        assert "dist(0, 10)" in capsys.readouterr().out
+
+    def test_convert_round_trip_preserves_answers(self, v1_index, tmp_path,
+                                                  capsys):
+        v2 = tmp_path / "g.idx2"
+        back = tmp_path / "g.back.idx"
+        main(["convert", str(v1_index), "-o", str(v2)])
+        main(["convert", str(v2), "-o", str(back), "--format", "v1"])
+        main(["query", str(v1_index), "0", "17"])
+        first = capsys.readouterr().out.splitlines()[-1]
+        main(["query", str(back), "0", "17"])
+        second = capsys.readouterr().out.splitlines()[-1]
+        assert first == second
+
+    def test_build_v2_format_directly(self, graph_file, tmp_path, capsys):
+        idx = tmp_path / "g.idx2"
+        rc = main(["build", str(graph_file), "-o", str(idx), "--format",
+                   "v2"])
+        assert rc == 0
+        assert main(["query", str(idx), "3", "3"]) == 0
+        assert "dist(3, 3) = 0" in capsys.readouterr().out
+
+    def test_query_missing_index(self, tmp_path, capsys):
+        rc = main(["query", str(tmp_path / "nope.idx"), "0", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_corrupt_index(self, tmp_path, capsys):
+        bad = tmp_path / "bad.idx"
+        bad.write_bytes(b"garbage!")
+        rc = main(["query", str(bad), "0", "1"])
+        assert rc == 2
+        assert "not a label index" in capsys.readouterr().err
+
+    def test_convert_missing_input(self, tmp_path, capsys):
+        rc = main(["convert", str(tmp_path / "nope.idx"), "-o",
+                   str(tmp_path / "out.idx2")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_convert_corrupt_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.idx"
+        bad.write_bytes(b"garbage!")
+        rc = main(["convert", str(bad), "-o", str(tmp_path / "out.idx2")])
+        assert rc == 2
+        assert "not a label index" in capsys.readouterr().err
+
+    def test_query_batch_file(self, v1_index, tmp_path, capsys):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("# workload\n0 10\n3 3\n10 0\n")
+        rc = main(["query", str(v1_index), "--batch", str(batch)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[1] == "3\t3\t0"
+        assert "answered 3 pairs" in captured.err
+
+    def test_query_batch_with_mmap_backend(self, v1_index, tmp_path, capsys):
+        v2 = tmp_path / "g.idx2"
+        main(["convert", str(v1_index), "-o", str(v2)])
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("0 10\n")
+        capsys.readouterr()
+        rc = main(["query", str(v2), "--batch", str(batch), "--mmap"])
+        assert rc == 0
+        out_mmap = capsys.readouterr().out
+        rc = main(["query", str(v2), "--batch", str(batch), "--backend",
+                   "list"])
+        assert rc == 0
+        assert capsys.readouterr().out == out_mmap
+
+    def test_query_missing_batch_file(self, v1_index, capsys):
+        rc = main(["query", str(v1_index), "--batch", "/nonexistent.txt"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_malformed_batch_file(self, v1_index, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0 5\nbogus\n")
+        rc = main(["query", str(v1_index), "--batch", str(bad)])
+        assert rc == 2
+        assert "expected 's t'" in capsys.readouterr().err
+
+    def test_query_out_of_range_vertex(self, v1_index, capsys):
+        rc = main(["query", str(v1_index), "0", "999999"])
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_query_batch_out_of_range_vertex(self, v1_index, tmp_path,
+                                             capsys):
+        batch = tmp_path / "oob.txt"
+        batch.write_text("0 5\n0 999999\n")
+        rc = main(["query", str(v1_index), "--batch", str(batch)])
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_query_flags_before_pairs(self, v1_index, capsys):
+        rc = main(["query", str(v1_index), "--backend", "list", "0", "10"])
+        assert rc == 0
+        assert "dist(0, 10)" in capsys.readouterr().out
+
+    def test_non_query_extra_args_still_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["stats", str(graph_file), "17"])
+
+    def test_query_without_pairs_or_batch(self, v1_index, capsys):
+        rc = main(["query", str(v1_index)])
+        assert rc == 2
+        assert "provide vertex pairs" in capsys.readouterr().err
+
+    def test_verify_reads_v2(self, graph_file, v1_index, tmp_path, capsys):
+        v2 = tmp_path / "g.idx2"
+        main(["convert", str(v1_index), "-o", str(v2)])
+        rc = main(["verify", str(graph_file), str(v2)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
