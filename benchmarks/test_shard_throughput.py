@@ -1,0 +1,174 @@
+"""Sharded-serving benchmark: ParallelOracle vs single-store batches.
+
+The claim behind the sharded store + worker-pool frontend is that
+batch throughput scales with cores once the index is partitioned:
+every worker owns an mmap of the shard files and evaluates its chunk
+with the same grouped merge joins the single-store path uses.  This
+file builds one index over a 10k-vertex Barabasi-Albert graph, serves
+it three ways — per-pair, single-store ``query_batch``, and
+``ParallelOracle`` over a shard directory — and enforces:
+
+* **bit-identical answers** across all three paths (always);
+* the **>= 1.5x batch-throughput floor** for the parallel frontend
+  over the single-store batch path (on machines with >= 2 cores; a
+  process pool cannot beat the GIL-free single process on one core,
+  so the floor is skipped there — CI runners have >= 2).
+
+Every run also records its measurements in
+``BENCH_shard_throughput.json`` (uploaded as a CI artifact), so the
+throughput trajectory is visible per commit even where the floor is
+skipped.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.baselines.pll import build_pll
+from repro.bench.export import write_bench_json
+from repro.bench.workloads import random_pairs
+from repro.core.flatstore import FlatLabelStore
+from repro.graphs.generators import ba_graph
+from repro.oracle import DistanceOracle, ParallelOracle, ShardedLabelStore
+
+NUM_VERTICES = 10_000
+#: Big enough that pool dispatch (pickling pairs, waking workers) is
+#: amortised; the per-worker chunks still fit well inside L2-resident
+#: label slices.
+NUM_PAIRS = 20_000
+NUM_SHARDS = 4
+#: Acceptance floor for ParallelOracle vs single-store batch
+#: throughput.  With 4 process workers the fan-out measures ~2-3x on
+#: 2-4 core CI runners; 1.5 is the criterion with headroom for noise.
+MIN_PARALLEL_SPEEDUP = 1.5
+
+_CORES = os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def assets(tmp_path_factory):
+    """One PLL index served two ways: flat store and shard directory."""
+    graph = ba_graph(NUM_VERTICES, m=2, seed=1)
+    index, _ = build_pll(graph)
+    flat = FlatLabelStore.from_index(index)
+    root = tmp_path_factory.mktemp("shard-bench")
+    shard_dir = root / "shards"
+    ShardedLabelStore.split(flat, NUM_SHARDS).save(shard_dir)
+    return flat, shard_dir
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return random_pairs(NUM_VERTICES, NUM_PAIRS, seed=77)
+
+
+@pytest.fixture(scope="module")
+def parallel_oracle(assets):
+    _, shard_dir = assets
+    oracle = ParallelOracle(
+        shard_dir,
+        workers=min(NUM_SHARDS, _CORES),
+        executor="process",
+        cache_size=0,
+    )
+    oracle.warmup()
+    yield oracle
+    oracle.close()
+
+
+def _interleaved_rates(runs, pairs, repeats: int = 5) -> list[float]:
+    """Best-of-N pairs/sec per callable, rounds interleaved.
+
+    Alternating within each round spreads machine noise over both
+    measurements symmetrically; the per-callable minimum discards the
+    noisy rounds (same protocol as ``test_store_throughput``).
+    """
+    best = [float("inf")] * len(runs)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for k, run in enumerate(runs):
+                t0 = time.perf_counter()
+                run(pairs)
+                best[k] = min(best[k], time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return [len(pairs) / b for b in best]
+
+
+def test_sharded_answers_bit_identical(assets, pairs, parallel_oracle):
+    """Per-pair, batched, and sharded paths agree on every distance."""
+    flat, shard_dir = assets
+    expected = [flat.query(s, t) for s, t in pairs]
+
+    single = DistanceOracle(flat, cache_size=0)
+    assert single.query_batch(pairs) == expected
+
+    sharded = ShardedLabelStore.load(shard_dir, use_mmap=True)
+    try:
+        assert [sharded.query(s, t) for s, t in pairs] == expected
+    finally:
+        sharded.close()
+
+    assert parallel_oracle.query_batch(pairs) == expected
+
+
+def test_single_store_batch_throughput(benchmark, assets, pairs):
+    """Baseline: the single-process grouped merge-join batch path."""
+    flat, _ = assets
+    oracle = DistanceOracle(flat, cache_size=0)
+    benchmark(lambda: oracle.query_batch(pairs))
+
+
+def test_parallel_batch_throughput(benchmark, assets, pairs, parallel_oracle):
+    """The sharded fan-out path through the warm process pool."""
+    result = benchmark(lambda: parallel_oracle.query_batch(pairs))
+    flat, _ = assets
+    assert result == [flat.query(s, t) for s, t in pairs]
+
+
+def test_parallel_throughput_floor_and_export(assets, pairs, parallel_oracle):
+    """The acceptance criterion: sharded batches >= 1.5x single-store.
+
+    The measured rates are exported to ``BENCH_shard_throughput.json``
+    on every run; the floor itself needs a second core (a process pool
+    on one core only adds dispatch overhead) and is asserted when the
+    machine has one.
+    """
+    flat, _ = assets
+    single = DistanceOracle(flat, cache_size=0)
+    single_rate, parallel_rate = _interleaved_rates(
+        [single.query_batch, parallel_oracle.query_batch], pairs
+    )
+    speedup = parallel_rate / single_rate
+    write_bench_json(
+        "shard_throughput",
+        {
+            "num_vertices": NUM_VERTICES,
+            "num_pairs": NUM_PAIRS,
+            "num_shards": NUM_SHARDS,
+            "workers": parallel_oracle.workers,
+            "cores": _CORES,
+            "single_store_pairs_per_sec": round(single_rate),
+            "parallel_pairs_per_sec": round(parallel_rate),
+            "speedup": round(speedup, 3),
+            "floor": MIN_PARALLEL_SPEEDUP,
+            "floor_enforced": _CORES >= 2,
+        },
+    )
+    if _CORES < 2:
+        pytest.skip(
+            f"only {_CORES} core(s): the >= {MIN_PARALLEL_SPEEDUP}x floor "
+            "needs real parallelism (rates still exported)"
+        )
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"ParallelOracle {parallel_rate:,.0f} pairs/s vs single store "
+        f"{single_rate:,.0f} pairs/s — {speedup:.2f}x is below the "
+        f"{MIN_PARALLEL_SPEEDUP}x floor"
+    )

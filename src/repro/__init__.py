@@ -31,9 +31,9 @@ from repro.core.flatstore import FlatLabelStore
 from repro.core.index import HopDoublingIndex
 from repro.core.labels import INF, LabelIndex, LabelStore
 from repro.graphs.digraph import Graph
-from repro.oracle import DistanceOracle
+from repro.oracle import DistanceOracle, ParallelOracle, ShardedLabelStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "HopDoublingIndex",
@@ -41,6 +41,8 @@ __all__ = [
     "LabelStore",
     "FlatLabelStore",
     "DistanceOracle",
+    "ParallelOracle",
+    "ShardedLabelStore",
     "Graph",
     "INF",
     "__version__",

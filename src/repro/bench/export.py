@@ -1,14 +1,19 @@
-"""CSV export for the table/figure drivers.
+"""CSV/JSON export for the table/figure drivers and perf gates.
 
 The text tables are for eyeballing against the paper; downstream
 analysis (plotting Figure 8/9/10, regression-tracking Table 6) wants
 machine-readable output.  Every driver result object can be passed to
-:func:`write_csv` with its headers and rows.
+:func:`write_csv` with its headers and rows, and perf-gate benchmarks
+record their measurements with :func:`write_bench_json` — CI uploads
+the resulting ``BENCH_*.json`` files as workflow artifacts, so the
+perf trajectory is recorded per commit.
 """
 
 from __future__ import annotations
 
 import csv
+import json
+import platform
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -31,3 +36,29 @@ def write_csv(
             writer.writerow(["" if c is None else c for c in row])
             count += 1
     return count
+
+
+def write_bench_json(name: str, payload: dict, directory=None) -> Path:
+    """Record a benchmark measurement as ``BENCH_<name>.json``.
+
+    ``payload`` is any JSON-serialisable mapping of measurements; an
+    ``environment`` block (python version, platform, machine) is added
+    so numbers from different runners aren't compared blindly.  Files
+    land in ``directory`` (default: the working directory, which in CI
+    is the checkout root the artifact-upload step globs).
+    """
+    path = Path(directory or ".") / f"BENCH_{name}.json"
+    document = {
+        "benchmark": name,
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        **payload,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

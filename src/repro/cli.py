@@ -6,7 +6,10 @@ Subcommands::
                                [--format {v1,v2}]
     repro query INDEX [S T ...] [--batch FILE] [--backend {flat,list}]
                                [--mmap]
-    repro convert INDEX -o OUTPUT [--format {v1,v2}]
+    repro query --shards DIR [S T ...] [--batch FILE] [--workers N]
+                               [--executor {process,thread}]
+    repro convert INDEX -o OUTPUT [--format {v1,v2}] [--force]
+    repro shard INDEX -o DIR [--shards N] [--force]
     repro stats GRAPH [--directed] [--weighted]
     repro generate MODEL -n N -o GRAPH [--density D] [--seed K]
     repro verify GRAPH INDEX [--samples N]
@@ -16,9 +19,11 @@ Subcommands::
 ``GRAPH`` files are text edge lists (``u v [w]`` per line, ``#``
 comments); ``INDEX`` files use the library's binary label formats
 (v1 per-entry structs, v2 flat-array blobs — ``repro convert``
-translates between them).  Queries are served through the
-:class:`~repro.oracle.DistanceOracle` facade; ``--batch FILE``
-evaluates one ``s t`` pair per line with grouped merge joins.
+translates between them).  ``repro shard`` splits an index into a
+directory of per-vertex-range v2 files plus a manifest, which ``repro
+query --shards`` serves through a worker pool.  Queries are served
+through the :class:`~repro.oracle.DistanceOracle` facade; ``--batch
+FILE`` evaluates one ``s t`` pair per line with grouped merge joins.
 """
 
 from __future__ import annotations
@@ -56,8 +61,23 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.oracle import DistanceOracle, read_pair_file
+    from repro.oracle import DistanceOracle, ParallelOracle, read_pair_file
 
+    # With --shards the INDEX positional must be omitted; argparse may
+    # have captured the first vertex id there, so hand it back.
+    if args.shards and args.index is not None:
+        if _is_int(args.index):
+            args.pair.insert(0, int(args.index))
+            args.index = None
+        else:
+            print(
+                "error: give either INDEX or --shards DIR, not both",
+                file=sys.stderr,
+            )
+            return 2
+    if not args.shards and args.index is None:
+        print("error: provide an INDEX file or --shards DIR", file=sys.stderr)
+        return 2
     # Validate the invocation before paying for the index load.
     if len(args.pair) % 2 != 0:
         print("error: provide an even number of vertex ids", file=sys.stderr)
@@ -65,7 +85,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if not args.pair and not args.batch:
         print("error: provide vertex pairs or --batch FILE", file=sys.stderr)
         return 2
-    if args.mmap and args.backend == "list":
+    if args.shards and (args.mmap or args.backend != "flat"):
+        print(
+            "warning: --mmap and --backend are ignored with --shards "
+            "(shard workers always mmap the flat shard files)",
+            file=sys.stderr,
+        )
+    elif args.mmap and args.backend == "list":
         print(
             "warning: --mmap has no effect with --backend list "
             "(tuple lists are materialized in memory)",
@@ -79,14 +105,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     try:
-        oracle = DistanceOracle.open(
-            args.index, backend=args.backend, use_mmap=args.mmap
-        )
+        if args.shards:
+            oracle = ParallelOracle(
+                args.shards,
+                workers=args.workers,
+                executor=args.executor,
+            )
+        else:
+            oracle = DistanceOracle.open(
+                args.index, backend=args.backend, use_mmap=args.mmap
+            )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if (
-        args.mmap
+        not args.shards
+        and args.mmap
         and args.backend == "flat"
         and not getattr(oracle.store, "is_mmapped", False)
     ):
@@ -131,6 +165,13 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
     from repro.core.flatstore import load_store
 
+    if os.path.exists(args.output) and not args.force:
+        print(
+            f"error: {args.output} already exists; pass --force to "
+            "overwrite it",
+            file=sys.stderr,
+        )
+        return 2
     try:
         store = load_store(args.index, prefer_flat=True)
         if args.format == "v2":
@@ -145,6 +186,41 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     print(
         f"converted {args.index} ({format_bytes(src)}) -> "
         f"{args.output} ({format_bytes(dst)}, format {args.format})"
+    )
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.flatstore import load_store
+    from repro.oracle import ShardedLabelStore
+    from repro.oracle.sharding import SHARD_FILE_FORMAT
+
+    try:
+        store = load_store(args.index, prefer_flat=True)
+        sharded = ShardedLabelStore.split(store, args.shards)
+        manifest_path = sharded.save(args.output, overwrite=args.force)
+    except FileExistsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    total = 0
+    for i, (lo, hi) in enumerate(sharded.ranges):
+        size = os.path.getsize(
+            os.path.join(args.output, SHARD_FILE_FORMAT.format(i))
+        )
+        total += size
+        print(
+            f"shard {i}: vertices [{lo}, {hi}) "
+            f"({format_count(hi - lo)}), {format_bytes(size)}"
+        )
+    print(
+        f"sharded {args.index} -> {args.output} "
+        f"({args.shards} shards, {format_bytes(total)}, "
+        f"manifest {manifest_path.name})"
     )
     return 0
 
@@ -186,14 +262,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    import os
+
     from repro.core.labels import LabelIndex
     from repro.core.verify import verify_index
 
     graph = read_edge_list(
         args.graph, directed=args.directed, weighted=args.weighted
     )
-    index = LabelIndex.load(args.index)
-    report = verify_index(graph, index, samples=args.samples)
+    if os.path.isdir(args.index):
+        from repro.oracle import ShardedLabelStore
+
+        store = ShardedLabelStore.load(args.index)
+    else:
+        store = LabelIndex.load(args.index)
+    report = verify_index(graph, store, samples=args.samples)
     print(report)
     for violation in report.violations[:20]:
         print(f"  ! {violation}")
@@ -260,7 +343,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("query", help="query a built index")
-    p.add_argument("index", help="index file from `repro build`")
+    p.add_argument(
+        "index",
+        nargs="?",
+        help="index file from `repro build` (omit with --shards)",
+    )
     p.add_argument("pair", nargs="*", type=int, help="s t [s t ...]")
     p.add_argument(
         "--batch",
@@ -278,6 +365,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="memory-map a v2 index instead of reading it",
     )
+    p.add_argument(
+        "--shards",
+        metavar="DIR",
+        help="serve a shard directory (from `repro shard`) instead of "
+        "a single index file",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size for --shards (default: min(shards, cores))",
+    )
+    p.add_argument(
+        "--executor",
+        choices=["process", "thread"],
+        default="process",
+        help="worker pool kind for --shards (default: process)",
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
@@ -291,7 +396,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="v2",
         help="target format (default: v2 flat-array)",
     )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing output file",
+    )
     p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser(
+        "shard",
+        help="split an index into a sharded directory (v2 files + manifest)",
+    )
+    p.add_argument("index", help="index file in either format")
+    p.add_argument(
+        "-o", "--output", required=True, help="shard directory to create"
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="number of contiguous vertex-range shards (default: 4)",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="replace an existing shard directory",
+    )
+    p.set_defaults(func=_cmd_shard)
 
     p = sub.add_parser("stats", help="profile a graph (scale-free checks)")
     p.add_argument("graph", help="edge-list file")
@@ -312,7 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="verify an index against its graph (exit 1 on failure)"
     )
     p.add_argument("graph", help="edge-list file")
-    p.add_argument("index", help="index file from `repro build`")
+    p.add_argument(
+        "index",
+        help="index file from `repro build`, or a `repro shard` directory",
+    )
     p.add_argument("--directed", action="store_true")
     p.add_argument("--weighted", action="store_true")
     p.add_argument("--samples", type=int, default=500)

@@ -31,11 +31,7 @@ Scope and guarantees:
 from __future__ import annotations
 
 from repro.core.hop_doubling import HopDoubling
-from repro.core.labels import (
-    DirectedLabelState,
-    LabelIndex,
-    UndirectedLabelState,
-)
+from repro.core.labels import LabelIndex
 from repro.core.pruning import admit_and_prune, exhaustive_prune
 from repro.core.ranking import Ranking, make_ranking
 from repro.core.rules import make_engine

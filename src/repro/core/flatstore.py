@@ -50,6 +50,66 @@ _MAGIC = b"RPLI"
 _VERSION = 2
 _HEADER = struct.Struct("<BBBIQQ")  # version, flags, has_rank, n, counts
 
+
+def probe_slice_min(get, pivots, dists, o, e) -> float:
+    """Min ``get(w) + d2`` over one CSR label slice, probing a dict.
+
+    ``get`` is the bound ``dict.get`` of the other side's ``pivot ->
+    dist`` mapping.  This is *the* evaluation inner loop — every CSR
+    query path (single store or sharded) funnels through it, so the
+    bit-identical-answers guarantee has a single implementation.
+    """
+    best = INF
+    for w, d2 in zip(pivots[o:e], dists[o:e]):
+        d1 = get(w)
+        if d1 is not None:
+            d = d1 + d2
+            if d < best:
+                best = d
+    return best
+
+
+def probe_min_distance(
+    a_pivots, a_dists, ao, ae, b_pivots, b_dists, bo, be
+) -> float:
+    """Min ``d1 + d2`` over common pivots of two CSR label slices.
+
+    The smaller slice is zipped into a dict at C speed and the larger
+    one is probed through it; the minimum over common pivots is the
+    same sum a sorted merge join would return.
+    """
+    if ae - ao <= be - bo:
+        probe = dict(zip(a_pivots[ao:ae], a_dists[ao:ae]))
+        return probe_slice_min(probe.get, b_pivots, b_dists, bo, be)
+    probe = dict(zip(b_pivots[bo:be], b_dists[bo:be]))
+    return probe_slice_min(probe.get, a_pivots, a_dists, ao, ae)
+
+
+def merge_min_via(
+    a_pivots, a_dists, i, ie, b_pivots, b_dists, j, je
+) -> tuple[float, int]:
+    """Sorted merge of two CSR label slices: ``(min dist, best pivot)``.
+
+    Returns pivot -1 when the slices share no pivot (unreachable).
+    """
+    best = INF
+    best_pivot = -1
+    while i < ie and j < je:
+        pa = a_pivots[i]
+        pb = b_pivots[j]
+        if pa == pb:
+            d = a_dists[i] + b_dists[j]
+            if d < best:
+                best = d
+                best_pivot = pa
+            i += 1
+            j += 1
+        elif pa < pb:
+            i += 1
+        else:
+            j += 1
+    return best, best_pivot
+
 # The on-disk blobs are little-endian; big-endian hosts byteswap on
 # save/load (and fall back to copying instead of zero-copy mmap views).
 _BIG_ENDIAN = sys.byteorder == "big"
@@ -193,50 +253,32 @@ class FlatLabelStore:
         self._check(s, t)
         if s == t:
             return 0.0
-        ao, ae = self.out_offsets[s], self.out_offsets[s + 1]
-        bo, be = self.in_offsets[t], self.in_offsets[t + 1]
-        if ae - ao <= be - bo:
-            probe = dict(zip(self.out_pivots[ao:ae], self.out_dists[ao:ae]))
-            pivots, dists, o, e = self.in_pivots, self.in_dists, bo, be
-        else:
-            probe = dict(zip(self.in_pivots[bo:be], self.in_dists[bo:be]))
-            pivots, dists, o, e = self.out_pivots, self.out_dists, ao, ae
-        get = probe.get
-        best = INF
-        for w, d2 in zip(pivots[o:e], dists[o:e]):
-            d1 = get(w)
-            if d1 is not None:
-                d = d1 + d2
-                if d < best:
-                    best = d
-        return best
+        return probe_min_distance(
+            self.out_pivots,
+            self.out_dists,
+            self.out_offsets[s],
+            self.out_offsets[s + 1],
+            self.in_pivots,
+            self.in_dists,
+            self.in_offsets[t],
+            self.in_offsets[t + 1],
+        )
 
     def query_via(self, s: int, t: int) -> tuple[float, int]:
         """Like :meth:`query` but also return the best pivot (-1 if none)."""
         self._check(s, t)
         if s == t:
             return 0.0, s
-        po, do = self.out_pivots, self.out_dists
-        pi, di = self.in_pivots, self.in_dists
-        i, ie = self.out_offsets[s], self.out_offsets[s + 1]
-        j, je = self.in_offsets[t], self.in_offsets[t + 1]
-        best = INF
-        best_pivot = -1
-        while i < ie and j < je:
-            pa = po[i]
-            pb = pi[j]
-            if pa == pb:
-                d = do[i] + di[j]
-                if d < best:
-                    best = d
-                    best_pivot = pa
-                i += 1
-                j += 1
-            elif pa < pb:
-                i += 1
-            else:
-                j += 1
-        return best, best_pivot
+        return merge_min_via(
+            self.out_pivots,
+            self.out_dists,
+            self.out_offsets[s],
+            self.out_offsets[s + 1],
+            self.in_pivots,
+            self.in_dists,
+            self.in_offsets[t],
+            self.in_offsets[t + 1],
+        )
 
     def query_group(self, s: int, targets: Sequence[int]) -> list[float]:
         """Distances from ``s`` to each target, amortising the source side.
@@ -259,17 +301,9 @@ class FlatLabelStore:
             if t == s:
                 append(0.0)
                 continue
-            best = INF
-            for w, d2 in zip(
-                pivots[offsets[t] : offsets[t + 1]],
-                dists[offsets[t] : offsets[t + 1]],
-            ):
-                d1 = get(w)
-                if d1 is not None:
-                    d = d1 + d2
-                    if d < best:
-                        best = d
-            append(best)
+            append(
+                probe_slice_min(get, pivots, dists, offsets[t], offsets[t + 1])
+            )
         return out
 
     # -- statistics ----------------------------------------------------------

@@ -71,7 +71,9 @@ class InvertedLabelIndex:
         return dist
 
     # -- k nearest neighbours ------------------------------------------------
-    def nearest(self, s: int, k: int, include_self: bool = False) -> list[tuple[float, int]]:
+    def nearest(
+        self, s: int, k: int, include_self: bool = False
+    ) -> list[tuple[float, int]]:
         """The ``k`` closest vertices to ``s`` as ``(dist, vertex)`` pairs.
 
         Best-first expansion over the pivots of ``Lout(s)``: each pivot
@@ -91,7 +93,6 @@ class InvertedLabelIndex:
                 heap.append((d1 + entries[0][0], order, w, 0))
         heapq.heapify(heap)
 
-        best: dict[int, float] = {}
         result: list[tuple[float, int]] = []
         seen: set[int] = set()
         pivot_d1 = dict(source_label)

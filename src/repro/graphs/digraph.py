@@ -109,10 +109,14 @@ class Graph:
                 continue
             if weighted:
                 if len(edge) < 3:
-                    raise ValueError(f"weighted graph requires (u, v, w) edges: {edge!r}")
+                    raise ValueError(
+                        f"weighted graph requires (u, v, w) edges: {edge!r}"
+                    )
                 w = float(edge[2])
                 if not w > 0:
-                    raise ValueError(f"edge weight must be > 0, got {w!r} on ({u}, {v})")
+                    raise ValueError(
+                        f"edge weight must be > 0, got {w!r} on ({u}, {v})"
+                    )
             else:
                 w = 1.0
             if not directed and u > v:
@@ -123,7 +127,9 @@ class Graph:
                 best[key] = w
 
         out_adj: list[list[int]] = [[] for _ in range(num_vertices)]
-        out_w: list[list[float]] = [[] for _ in range(num_vertices)] if weighted else None
+        out_w: list[list[float]] | None = (
+            [[] for _ in range(num_vertices)] if weighted else None
+        )
         if directed:
             in_adj: list[list[int]] = [[] for _ in range(num_vertices)]
             in_w = [[] for _ in range(num_vertices)] if weighted else None

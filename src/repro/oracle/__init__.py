@@ -7,25 +7,46 @@ CSR), serves single-pair and batched point-to-point distances through
 an LRU result cache, and exposes reachability, path reconstruction,
 one-to-all, and k-NN on top.
 
+For indexes too big (or traffic too heavy) for one process, the store
+can be range-partitioned into a shard directory and served by a worker
+pool instead (:mod:`repro.oracle.sharding` /
+:mod:`repro.oracle.parallel`).
+
 Quick start::
 
-    from repro.oracle import DistanceOracle
+    from repro.oracle import DistanceOracle, ParallelOracle
 
     oracle = DistanceOracle.open("g.index")        # any format version
     oracle.query(3, 4021)                          # exact distance
     oracle.query_batch([(0, 9), (3, 4021), ...])   # grouped evaluation
     oracle.nearest(3, k=10)                        # k-NN
+
+    served = ParallelOracle("g.shards", workers=4)  # `repro shard` output
+    served.query_batch(pairs)                       # fanned over the pool
 """
 
 from repro.oracle.batch import evaluate_batch, read_pair_file
 from repro.oracle.cache import CacheInfo, LRUCache
 from repro.oracle.oracle import DEFAULT_CACHE_SIZE, DistanceOracle
+from repro.oracle.parallel import DEFAULT_MIN_PARALLEL_BATCH, ParallelOracle
+from repro.oracle.sharding import (
+    ShardedLabelStore,
+    ShardError,
+    load_manifest,
+    split_ranges,
+)
 
 __all__ = [
     "DistanceOracle",
+    "ParallelOracle",
+    "ShardedLabelStore",
+    "ShardError",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_MIN_PARALLEL_BATCH",
     "LRUCache",
     "CacheInfo",
     "evaluate_batch",
+    "load_manifest",
     "read_pair_file",
+    "split_ranges",
 ]

@@ -1,0 +1,217 @@
+"""The :class:`ParallelOracle` frontend: fan ``query_batch`` out over shards.
+
+One :class:`~repro.oracle.DistanceOracle` is one process serving one
+store; this frontend serves a **shard directory** (see
+:mod:`repro.oracle.sharding`) with a pool of workers instead:
+
+* the parent opens the :class:`ShardedLabelStore` itself (mmap by
+  default), so every single-pair facility — ``query``, k-NN, path
+  reconstruction, the verifier — works exactly as on a plain oracle;
+* ``query_batch`` splits the batch into chunks grouped by the shard
+  owning each pair's *source* vertex (so a worker's probes stay inside
+  one shard's pages), evaluates the chunks on the pool, and merges the
+  results back into input order;
+* the pool is configurable: ``executor="process"`` (the default)
+  gives real multi-core evaluation — each worker process re-opens the
+  shard directory mmap-backed in its initializer, so the page cache is
+  shared and per-worker memory stays flat; ``executor="thread"``
+  shares the parent's store with zero startup cost (useful for tests,
+  small batches, and future free-threaded CPythons).
+
+Each chunk is evaluated with the same
+:func:`repro.oracle.batch.evaluate_batch` grouped merge joins the
+single-store path uses, so answers are bit-identical to
+``DistanceOracle.query_batch`` — ``benchmarks/test_shard_throughput.py``
+enforces both the equality and the >= 1.5x batch-throughput floor.
+
+Small batches are not worth a round trip through the pool; below
+``min_parallel_batch`` pairs the parent evaluates inline (through the
+LRU cache, like any oracle).  The parallel path bypasses the parent's
+result cache: shipping cache state between processes would cost more
+than the merge joins it saves.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Iterable
+
+from repro.graphs.digraph import Graph
+from repro.oracle.batch import evaluate_batch
+from repro.oracle.oracle import DEFAULT_CACHE_SIZE, DistanceOracle
+from repro.oracle.sharding import ShardedLabelStore
+
+#: Batches smaller than this are evaluated inline by the parent —
+#: pool dispatch overhead (pickling, wakeups) dominates below it.
+DEFAULT_MIN_PARALLEL_BATCH = 1024
+
+# Per-process store handle for process-pool workers, bound once by
+# _init_worker so repeated chunks pay zero reopen cost.
+_WORKER_STORE: ShardedLabelStore | None = None
+
+
+def _init_worker(shard_dir: str, use_mmap: bool) -> None:
+    """Process-pool initializer: map the shard directory read-only.
+
+    Checksums were already verified by the parent when it opened the
+    same directory, so workers skip them and start serving in
+    milliseconds even for multi-GB shard sets.
+    """
+    global _WORKER_STORE
+    _WORKER_STORE = ShardedLabelStore.load(
+        shard_dir, use_mmap=use_mmap, verify_checksums=False
+    )
+
+
+def _eval_chunk(pairs: list[tuple[int, int]]) -> list[float]:
+    """Evaluate one chunk in a worker process (grouped merge joins)."""
+    assert _WORKER_STORE is not None, "worker initializer did not run"
+    return evaluate_batch(_WORKER_STORE, pairs)
+
+
+class ParallelOracle(DistanceOracle):
+    """Batched distance serving over a shard directory with a worker pool."""
+
+    def __init__(
+        self,
+        shard_dir: str | Path,
+        workers: int | None = None,
+        executor: str = "process",
+        use_mmap: bool = True,
+        graph: Graph | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        min_parallel_batch: int = DEFAULT_MIN_PARALLEL_BATCH,
+    ) -> None:
+        # Validate configuration before the store load so a bad call
+        # never leaks N open shard mappings.
+        if executor not in ("process", "thread"):
+            raise ValueError(
+                f"executor must be 'process' or 'thread', got {executor!r}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        store = ShardedLabelStore.load(shard_dir, use_mmap=use_mmap)
+        super().__init__(store, graph=graph, cache_size=cache_size)
+        self.shard_dir = Path(shard_dir)
+        self.executor_kind = executor
+        self.use_mmap = use_mmap
+        self.min_parallel_batch = min_parallel_batch
+        if workers is None:
+            # More workers than shards just contend for the same pages;
+            # more workers than cores contend for the same cycles.
+            workers = min(store.num_shards, os.cpu_count() or 1)
+        self.workers = workers
+        self._pool: Executor | None = None
+
+    # -- pool management -----------------------------------------------------
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.executor_kind == "process":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(str(self.shard_dir), self.use_mmap),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def warmup(self) -> None:
+        """Start the pool and pay most of the worker startup cost now.
+
+        Process workers fork and map their stores on first use;
+        submitting one probe per worker makes the pool spawn all of
+        them and runs their initializers concurrently.  Best-effort:
+        the probes share one task queue, so a fast worker may answer
+        several and warmup() can return while a slower sibling is
+        still initializing — the first real batch then absorbs the
+        remainder (benchmarks discard it by taking best-of-N rounds).
+        A single-worker oracle always evaluates inline, so there is
+        nothing to warm.
+        """
+        if self.workers <= 1:
+            return
+        pool = self._ensure_pool()
+        if self.executor_kind == "process":
+            mid = self.n // 2
+            futures = [
+                pool.submit(_eval_chunk, [(mid, mid)])
+                for _ in range(self.workers)
+            ]
+            for future in futures:
+                future.result()
+
+    # -- batched serving -----------------------------------------------------
+    def query_batch(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
+        """Distances for every pair, in input order, evaluated on the pool.
+
+        Bit-identical to :meth:`DistanceOracle.query_batch`; batches
+        below ``min_parallel_batch`` (or a single worker) are
+        evaluated inline.
+        """
+        pairs = list(pairs)
+        if len(pairs) < self.min_parallel_batch or self.workers <= 1:
+            return super().query_batch(pairs)
+
+        chunks = self._chunk_by_shard(pairs)
+        pool = self._ensure_pool()
+        if self.executor_kind == "process":
+            futures = [
+                (positions, pool.submit(_eval_chunk, chunk))
+                for positions, chunk in chunks
+            ]
+        else:
+            store = self.store
+            futures = [
+                (positions, pool.submit(evaluate_batch, store, chunk))
+                for positions, chunk in chunks
+            ]
+        results: list[float] = [0.0] * len(pairs)
+        for positions, future in futures:
+            for pos, d in zip(positions, future.result()):
+                results[pos] = d
+        return results
+
+    def _chunk_by_shard(
+        self, pairs: list[tuple[int, int]]
+    ) -> list[tuple[list[int], list[tuple[int, int]]]]:
+        """Split a batch into per-worker chunks, grouped by source shard.
+
+        Returns ``(positions, chunk)`` tuples whose concatenation is a
+        permutation of the input; grouping by the source vertex's shard
+        keeps each worker's dict builds inside one shard, and large
+        groups are split so no chunk exceeds ``ceil(len / workers)``.
+        """
+        shard_of = self.store.shard_of
+        by_shard: dict[int, list[int]] = {}
+        for pos, (s, _) in enumerate(pairs):
+            by_shard.setdefault(shard_of(s), []).append(pos)
+        limit = -(-len(pairs) // self.workers)
+        chunks = []
+        for positions in by_shard.values():
+            for i in range(0, len(positions), limit):
+                part = positions[i : i + limit]
+                chunks.append((part, [pairs[pos] for pos in part]))
+        return chunks
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and release the shard mappings."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        super().close()
+
+    def __enter__(self) -> "ParallelOracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelOracle({self.store!r}, workers={self.workers}, "
+            f"executor={self.executor_kind!r})"
+        )

@@ -1,0 +1,569 @@
+"""Range-sharded label storage: N per-shard flat stores + a manifest.
+
+A single :class:`~repro.core.flatstore.FlatLabelStore` stops being the
+right serving unit once the index outgrows one process (the paper's
+billion-edge targets) or once query traffic wants more than one core.
+This module partitions a flat store by **contiguous vertex range** into
+``N`` independent shard files and serves them back through one object:
+
+* :class:`ShardedLabelStore` — implements the full
+  :class:`~repro.core.labels.LabelStore` protocol over the shard set,
+  so the :class:`~repro.oracle.DistanceOracle` facade, k-NN, path
+  reconstruction, and the verifier all work unchanged.  A query
+  ``(s, t)`` reads ``Lout(s)`` from the shard owning ``s`` and
+  ``Lin(t)`` from the shard owning ``t``; pivot ids are global, so the
+  dict-probe evaluation is identical to the single-store one and
+  returns bit-identical distances.
+* **On-disk layout** — a directory holding one binary format v2 file
+  per shard (each a self-contained ``FlatLabelStore`` over its local
+  vertex range) plus ``manifest.json`` recording the global shape,
+  the ``[lo, hi)`` range and SHA-256 checksum of every shard.  Loads
+  validate the manifest (complete range cover, no overlaps or gaps,
+  files present, checksums match) before any shard is opened, and can
+  memory-map every shard for zero-copy serving.
+
+Because each shard is an ordinary v2 file, one shard's worth of state
+is exactly what a :class:`~repro.oracle.parallel.ParallelOracle`
+worker process maps — sharding here is the storage half of the
+parallel serving frontend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from array import array
+from bisect import bisect_right
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.flatstore import (
+    FlatLabelStore,
+    merge_min_via,
+    probe_min_distance,
+    probe_slice_min,
+)
+from repro.core.labels import (
+    BYTES_PER_ENTRY,
+    LabelIndex,
+    LabelStats,
+    LabelStore,
+)
+from repro.utils.atomicio import atomic_binary_writer
+
+#: Manifest file name inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Shard file naming scheme (``shard-0000.idx2`` ...).
+SHARD_FILE_FORMAT = "shard-{:04d}.idx2"
+_SHARD_FILE_RE = re.compile(r"^shard-\d{4}\.idx2$")
+
+_MANIFEST_FORMAT = "repro-shards"
+_MANIFEST_VERSION = 1
+
+
+class ShardError(ValueError):
+    """A shard directory, manifest, or shard file is invalid."""
+
+
+def split_ranges(n: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal ``[lo, hi)`` vertex ranges covering ``n``.
+
+    The first ``n % num_shards`` shards get one extra vertex, so sizes
+    differ by at most one.  Raises :class:`ShardError` unless
+    ``1 <= num_shards <= n``.
+    """
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > n:
+        raise ShardError(
+            f"cannot split {n} vertices into {num_shards} non-empty shards"
+        )
+    base, extra = divmod(n, num_shards)
+    ranges = []
+    lo = 0
+    for i in range(num_shards):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def _sha256_file(path: Path) -> str:
+    """Streamed SHA-256 of a file.
+
+    On the save path this re-reads bytes just written (page-cache
+    warm); folding hashing into the writers isn't worth the coupling.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class ShardedLabelStore:
+    """A :class:`LabelStore` over per-range :class:`FlatLabelStore` shards.
+
+    ``ranges[i] = (lo, hi)`` and ``shards[i]`` holds the labels of
+    vertices ``lo .. hi-1``, locally re-based (global vertex ``v``
+    lives at local id ``v - lo`` in its shard).  Pivot ids inside the
+    labels stay **global**, so cross-shard joins need no translation.
+    """
+
+    __slots__ = ("n", "directed", "shards", "ranges", "rank", "_los")
+
+    def __init__(
+        self,
+        shards: Sequence[FlatLabelStore],
+        ranges: Sequence[tuple[int, int]],
+    ) -> None:
+        if len(shards) != len(ranges) or not shards:
+            raise ShardError(
+                f"got {len(shards)} shards for {len(ranges)} ranges"
+            )
+        self.shards = list(shards)
+        self.ranges = [(int(lo), int(hi)) for lo, hi in ranges]
+        _validate_ranges(self.ranges)
+        self.n = self.ranges[-1][1]
+        self.directed = shards[0].directed
+        for (lo, hi), shard in zip(self.ranges, self.shards):
+            if shard.n != hi - lo:
+                raise ShardError(
+                    f"shard for range [{lo}, {hi}) has {shard.n} vertices, "
+                    f"expected {hi - lo}"
+                )
+            if shard.directed != self.directed:
+                raise ShardError("shards disagree on directedness")
+        self._los = [lo for lo, _ in self.ranges]
+        # Reassemble the global ranking when every shard carries its slice.
+        if all(s.rank is not None for s in self.shards):
+            rank: list[int] | None = []
+            for shard in self.shards:
+                rank.extend(shard.rank)
+        else:
+            rank = None
+        self.rank = rank
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def split(
+        cls, store: LabelStore, num_shards: int
+    ) -> "ShardedLabelStore":
+        """Partition any label store into ``num_shards`` range shards.
+
+        Tuple-list indexes are packed through
+        :meth:`FlatLabelStore.from_index` first and any other backend
+        (including an already-sharded store being re-split to a new
+        shard count) through its ``out_label``/``in_label`` accessors;
+        the CSR arrays are then sliced per range (offsets re-based to
+        each shard's start), which preserves entry order and therefore
+        answers.
+        """
+        if not isinstance(store, FlatLabelStore):
+            if isinstance(store, LabelIndex):
+                store = FlatLabelStore.from_index(store)
+            else:
+                store = _pack_any(store)
+        ranges = split_ranges(store.n, num_shards)
+        shards = [_slice_store(store, lo, hi) for lo, hi in ranges]
+        return cls(shards, ranges)
+
+    # -- vertex -> shard routing ---------------------------------------------
+    def shard_of(self, v: int) -> int:
+        """Index of the shard owning global vertex ``v``."""
+        if not 0 <= v < self.n:
+            raise IndexError(f"vertex {v} out of range [0, {self.n})")
+        return bisect_right(self._los, v) - 1
+
+    def _locate(self, v: int) -> tuple[FlatLabelStore, int]:
+        i = self.shard_of(v)
+        return self.shards[i], v - self._los[i]
+
+    # -- LabelStore accessors ------------------------------------------------
+    def out_label(self, v: int) -> list[tuple[int, float]]:
+        """``Lout(v)`` as a fresh (pivot, dist) list, sorted by pivot."""
+        shard, local = self._locate(v)
+        return shard.out_label(local)
+
+    def in_label(self, v: int) -> list[tuple[int, float]]:
+        """``Lin(v)`` as a fresh (pivot, dist) list, sorted by pivot."""
+        shard, local = self._locate(v)
+        return shard.in_label(local)
+
+    def label_of(self, v: int, out: bool = True) -> list[tuple[int, float]]:
+        """The (pivot, dist) list of ``v``'s out- or in-label."""
+        return self.out_label(v) if out else self.in_label(v)
+
+    # -- querying ------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Exact ``dist(s, t)``; ``inf`` when unreachable.
+
+        Same dict-probe evaluation as the flat store, with the two
+        sides read from (possibly) different shards.
+        """
+        if s == t:
+            if not 0 <= s < self.n:
+                raise IndexError(f"query ({s}, {t}) out of range [0, {self.n})")
+            return 0.0
+        a, al = self._locate(s)
+        b, bl = self._locate(t)
+        return probe_min_distance(
+            a.out_pivots,
+            a.out_dists,
+            a.out_offsets[al],
+            a.out_offsets[al + 1],
+            b.in_pivots,
+            b.in_dists,
+            b.in_offsets[bl],
+            b.in_offsets[bl + 1],
+        )
+
+    def query_via(self, s: int, t: int) -> tuple[float, int]:
+        """Like :meth:`query` but also return the best pivot (-1 if none)."""
+        if s == t:
+            if not 0 <= s < self.n:
+                raise IndexError(f"query ({s}, {t}) out of range [0, {self.n})")
+            return 0.0, s
+        a, al = self._locate(s)
+        b, bl = self._locate(t)
+        return merge_min_via(
+            a.out_pivots,
+            a.out_dists,
+            a.out_offsets[al],
+            a.out_offsets[al + 1],
+            b.in_pivots,
+            b.in_dists,
+            b.in_offsets[bl],
+            b.in_offsets[bl + 1],
+        )
+
+    def query_group(self, s: int, targets: Sequence[int]) -> list[float]:
+        """Distances from ``s`` to each target, amortising the source side.
+
+        The batched-evaluation hook
+        (:func:`repro.oracle.batch.evaluate_batch` detects it): the
+        ``Lout(s)`` dict is built once from ``s``'s shard and probed
+        with every target's in-label from whichever shard owns it.
+        """
+        a, al = self._locate(s)
+        ao, ae = a.out_offsets[al], a.out_offsets[al + 1]
+        src = dict(zip(a.out_pivots[ao:ae], a.out_dists[ao:ae]))
+        get = src.get
+        out: list[float] = []
+        append = out.append
+        for t in targets:
+            if t == s:
+                append(0.0)
+                continue
+            b, bl = self._locate(t)
+            append(
+                probe_slice_min(
+                    get,
+                    b.in_pivots,
+                    b.in_dists,
+                    b.in_offsets[bl],
+                    b.in_offsets[bl + 1],
+                )
+            )
+        return out
+
+    # -- statistics ----------------------------------------------------------
+    def total_entries(self, include_trivial: bool = False) -> int:
+        """Total label entries (self entries excluded unless asked)."""
+        total = sum(
+            shard.total_entries(include_trivial=True) for shard in self.shards
+        )
+        trivial = self.n * (2 if self.directed else 1)
+        return total if include_trivial else total - trivial
+
+    def size_in_bytes(self) -> int:
+        """Index size under the paper's 5-bytes-per-entry convention."""
+        return self.total_entries(include_trivial=True) * BYTES_PER_ENTRY
+
+    def storage_bytes(self) -> int:
+        """Actual bytes held by the shard arrays (offsets included)."""
+        return sum(shard.storage_bytes() for shard in self.shards)
+
+    def stats(self) -> LabelStats:
+        """Aggregate size statistics (same semantics as the flat store)."""
+        shard_stats = [shard.stats() for shard in self.shards]
+        total = sum(st.total_entries for st in shard_stats)
+        return LabelStats(
+            num_vertices=self.n,
+            total_entries=total,
+            max_label_size=max(st.max_label_size for st in shard_stats),
+            avg_label_size=total / self.n if self.n else 0.0,
+            index_bytes=self.size_in_bytes(),
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def is_mmapped(self) -> bool:
+        """Whether every shard is a zero-copy view over a file mapping."""
+        return all(shard.is_mmapped for shard in self.shards)
+
+    # -- serialization -------------------------------------------------------
+    def save(self, path, overwrite: bool = False) -> Path:
+        """Write the shard directory: N v2 files + ``manifest.json``.
+
+        Each shard file is written atomically, the manifest last — a
+        reader that finds a manifest therefore finds the shard files
+        it names.  An existing shard directory (one with a manifest)
+        is refused unless ``overwrite=True``, which also removes stale
+        ``shard-*.idx2`` files beyond the new shard count.
+        """
+        root = Path(path)
+        manifest_path = root / MANIFEST_NAME
+        if manifest_path.exists() and not overwrite:
+            raise FileExistsError(
+                f"{root}: already a shard directory; pass overwrite=True "
+                "(CLI: --force) to replace it"
+            )
+        root.mkdir(parents=True, exist_ok=True)
+        entries = []
+        for i, ((lo, hi), shard) in enumerate(zip(self.ranges, self.shards)):
+            name = SHARD_FILE_FORMAT.format(i)
+            shard.save(root / name)
+            entries.append(
+                {
+                    "id": i,
+                    "lo": lo,
+                    "hi": hi,
+                    "file": name,
+                    "sha256": _sha256_file(root / name),
+                    "entries": shard.total_entries(include_trivial=True),
+                }
+            )
+        if overwrite:
+            for stale in root.iterdir():
+                if (
+                    _SHARD_FILE_RE.match(stale.name)
+                    and stale.name not in {e["file"] for e in entries}
+                ):
+                    stale.unlink()
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "version": _MANIFEST_VERSION,
+            "n": self.n,
+            "directed": self.directed,
+            "num_shards": len(self.shards),
+            "shards": entries,
+        }
+        payload = json.dumps(manifest, indent=2).encode() + b"\n"
+        with atomic_binary_writer(manifest_path) as fh:
+            fh.write(payload)
+        return manifest_path
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        use_mmap: bool = False,
+        verify_checksums: bool = True,
+    ) -> "ShardedLabelStore":
+        """Open a shard directory written by :meth:`save`.
+
+        Validates the manifest before opening anything: schema, a
+        complete gap/overlap-free range cover, every shard file
+        present, and (unless ``verify_checksums=False`` — e.g. worker
+        processes re-opening a directory the parent already verified)
+        SHA-256 checksums.  With ``use_mmap=True`` every shard is
+        mapped zero-copy.  Raises :class:`ShardError` on anything
+        inconsistent.
+        """
+        root = Path(path)
+        manifest = load_manifest(root)
+        shards = []
+        try:
+            for entry in manifest["shards"]:
+                file_path = root / entry["file"]
+                if verify_checksums:
+                    digest = _sha256_file(file_path)
+                    if digest != entry["sha256"]:
+                        raise ShardError(
+                            f"{file_path}: checksum mismatch (manifest "
+                            f"{entry['sha256'][:12]}..., file "
+                            f"{digest[:12]}...) — shard file corrupt or "
+                            "replaced; re-run `repro shard`"
+                        )
+                try:
+                    shard = FlatLabelStore.load(file_path, use_mmap=use_mmap)
+                except ValueError as exc:
+                    raise ShardError(f"shard {entry['id']}: {exc}") from exc
+                shards.append(shard)
+            ranges = [(e["lo"], e["hi"]) for e in manifest["shards"]]
+            store = cls(shards, ranges)
+        except BaseException:
+            for shard in shards:
+                shard.close()
+            raise
+        if store.n != manifest["n"] or store.directed != manifest["directed"]:
+            n, d = store.n, store.directed
+            store.close()
+            raise ShardError(
+                f"{root}: shard files describe |V|={n} directed={d}, "
+                f"manifest says |V|={manifest['n']} "
+                f"directed={manifest['directed']}"
+            )
+        return store
+
+    def close(self) -> None:
+        """Release every shard's file mapping (if any)."""
+        for shard in self.shards:
+            shard.close()
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"ShardedLabelStore(|V|={self.n}, {kind}, "
+            f"shards={len(self.shards)}, entries={self.total_entries()})"
+        )
+
+
+def load_manifest(path) -> dict:
+    """Read and validate ``manifest.json`` of a shard directory.
+
+    Returns the parsed manifest; raises :class:`ShardError` with a
+    pointed message on a missing/garbled manifest, a bad schema, a
+    range cover with overlaps or gaps, or missing shard files.
+    """
+    root = Path(path)
+    manifest_path = root / MANIFEST_NAME
+    if not root.is_dir():
+        raise ShardError(f"{root}: not a shard directory")
+    if not manifest_path.is_file():
+        raise ShardError(
+            f"{root}: no {MANIFEST_NAME} — not a shard directory "
+            "(create one with `repro shard`)"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ShardError(f"{manifest_path}: unreadable manifest: {exc}") from exc
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("format") != _MANIFEST_FORMAT
+    ):
+        raise ShardError(f"{manifest_path}: not a {_MANIFEST_FORMAT} manifest")
+    if manifest.get("version") != _MANIFEST_VERSION:
+        raise ShardError(
+            f"{manifest_path}: unsupported manifest version "
+            f"{manifest.get('version')!r}"
+        )
+    shards = manifest.get("shards")
+    if not isinstance(shards, list) or not shards:
+        raise ShardError(f"{manifest_path}: manifest lists no shards")
+    for entry in shards:
+        missing = {"id", "lo", "hi", "file", "sha256"} - set(entry)
+        if missing:
+            raise ShardError(
+                f"{manifest_path}: shard entry {entry.get('id')!r} missing "
+                f"fields {sorted(missing)}"
+            )
+    ranges = [(e["lo"], e["hi"]) for e in shards]
+    try:
+        _validate_ranges(ranges)
+    except ShardError as exc:
+        raise ShardError(f"{manifest_path}: {exc}") from exc
+    if manifest.get("n") != ranges[-1][1]:
+        raise ShardError(
+            f"{manifest_path}: ranges cover [0, {ranges[-1][1]}) but "
+            f"manifest says n={manifest.get('n')}"
+        )
+    for entry in shards:
+        if not (root / entry["file"]).is_file():
+            raise ShardError(
+                f"{root}: shard file {entry['file']!r} (vertices "
+                f"[{entry['lo']}, {entry['hi']})) is missing"
+            )
+    return manifest
+
+
+def _validate_ranges(ranges: Sequence[tuple[int, int]]) -> None:
+    """Require a sorted, contiguous, gap/overlap-free cover of [0, n)."""
+    if not ranges:
+        raise ShardError("no shard ranges")
+    if ranges[0][0] != 0:
+        raise ShardError(
+            f"shard ranges must start at vertex 0, got {ranges[0][0]}"
+        )
+    for (lo, hi), (nlo, nhi) in zip(ranges, ranges[1:]):
+        if nlo < hi:
+            raise ShardError(
+                f"overlapping shard ranges: [{lo}, {hi}) and [{nlo}, {nhi})"
+            )
+        if nlo > hi:
+            raise ShardError(
+                f"gap in shard ranges between [{lo}, {hi}) and [{nlo}, {nhi})"
+            )
+    for lo, hi in ranges:
+        if hi <= lo:
+            raise ShardError(f"empty shard range [{lo}, {hi})")
+
+
+def _pack_any(store: LabelStore) -> FlatLabelStore:
+    """Pack any :class:`LabelStore` into CSR arrays via its accessors.
+
+    The generic path behind :meth:`ShardedLabelStore.split` for
+    backends that are neither :class:`FlatLabelStore` nor
+    :class:`LabelIndex` — e.g. re-splitting an already-sharded store
+    to a different shard count.
+    """
+
+    def pack(label_of):
+        offsets = array("q", [0])
+        pivots = array("i")
+        dists = array("d")
+        for v in range(store.n):
+            for p, d in label_of(v):
+                pivots.append(p)
+                dists.append(d)
+            offsets.append(len(pivots))
+        return offsets, pivots, dists
+
+    oo, op, od = pack(store.out_label)
+    if store.directed:
+        io, ip, id_ = pack(store.in_label)
+    else:
+        io, ip, id_ = oo, op, od
+    rank = getattr(store, "rank", None)
+    return FlatLabelStore(
+        store.n,
+        store.directed,
+        oo,
+        op,
+        od,
+        io,
+        ip,
+        id_,
+        list(rank) if rank is not None else None,
+    )
+
+
+def _slice_store(store: FlatLabelStore, lo: int, hi: int) -> FlatLabelStore:
+    """Copy vertices ``[lo, hi)`` of a flat store into a local-id store."""
+
+    def side(offsets, pivots, dists):
+        base = offsets[lo]
+        local_offsets = array("q", (offsets[v] - base for v in range(lo, hi + 1)))
+        end = offsets[hi]
+        return (
+            local_offsets,
+            array("i", pivots[base:end]),
+            array("d", dists[base:end]),
+        )
+
+    oo, op, od = side(store.out_offsets, store.out_pivots, store.out_dists)
+    if store.directed:
+        io, ip, id_ = side(store.in_offsets, store.in_pivots, store.in_dists)
+    else:
+        io, ip, id_ = oo, op, od
+    rank = list(store.rank[lo:hi]) if store.rank is not None else None
+    return FlatLabelStore(
+        hi - lo, store.directed, oo, op, od, io, ip, id_, rank
+    )

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 
 from repro.baselines.apsp import APSPOracle
 from repro.baselines.islabel import build_islabel
-from repro.graphs.digraph import Graph
 from repro.graphs.generators import glp_graph, path_graph
 from tests.conftest import graph_strategy, random_graph
 

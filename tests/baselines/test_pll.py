@@ -1,6 +1,5 @@
 """Tests for the PLL baseline."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.baselines.apsp import APSPOracle

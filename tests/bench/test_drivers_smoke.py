@@ -46,7 +46,6 @@ class TestHarness:
 
 class TestTableDrivers:
     def test_table6_renders(self):
-        t = table6.run.__wrapped__ if hasattr(table6.run, "__wrapped__") else table6.run
         result = table6.Table6(
             [run_dataset("enron", num_queries=20, budget=30.0)]
         )

@@ -1,9 +1,10 @@
-"""Tests for CSV export of the table drivers."""
+"""Tests for CSV/JSON export of the table drivers and perf gates."""
 
 import csv
+import json
 
 from repro.bench import table7
-from repro.bench.export import write_csv
+from repro.bench.export import write_bench_json, write_csv
 
 
 class TestWriteCsv:
@@ -18,6 +19,27 @@ class TestWriteCsv:
     def test_empty(self, tmp_path):
         path = tmp_path / "e.csv"
         assert write_csv(path, ["x"], []) == 0
+
+
+class TestWriteBenchJson:
+    def test_writes_named_file_with_environment(self, tmp_path):
+        path = write_bench_json(
+            "unit", {"pairs_per_sec": 123}, directory=tmp_path
+        )
+        assert path == tmp_path / "BENCH_unit.json"
+        document = json.loads(path.read_text())
+        assert document["benchmark"] == "unit"
+        assert document["pairs_per_sec"] == 123
+        assert document["environment"]["implementation"]
+
+    def test_payload_cannot_be_clobbered_silently(self, tmp_path):
+        document = json.loads(
+            write_bench_json(
+                "named", {"benchmark": "custom"}, directory=tmp_path
+            ).read_text()
+        )
+        # Payload keys win over the boilerplate, by design.
+        assert document["benchmark"] == "custom"
 
 
 class TestDriverCsv:

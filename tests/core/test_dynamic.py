@@ -1,8 +1,6 @@
 """Tests for the incremental-insertion extension."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.baselines.apsp import APSPOracle
 from repro.core.dynamic import DynamicHopDoublingIndex

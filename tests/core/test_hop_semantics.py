@@ -10,11 +10,9 @@ import pytest
 from hypothesis import given, settings
 
 from repro.baselines.apsp import APSPOracle
-from repro.core.hop_doubling import HopDoubling
 from repro.core.hop_stepping import HopStepping
-from repro.core.ranking import Ranking
 from repro.graphs.digraph import Graph
-from repro.graphs.traversal import INF, bfs_distances
+from repro.graphs.traversal import INF
 from tests.conftest import graph_strategy, random_graph
 
 

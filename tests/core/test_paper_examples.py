@@ -15,8 +15,6 @@ import pytest
 from repro.core.hop_doubling import HopDoubling
 from repro.core.hop_stepping import HopStepping
 from repro.core.ranking import Ranking, degree_ranking
-from repro.graphs.digraph import Graph
-from tests.conftest import FIGURE3_EDGES, ROAD_EDGES
 
 A, B, C, D, E = 0, 1, 2, 3, 4  # Figure 1/2 vertex names
 

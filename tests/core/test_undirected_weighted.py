@@ -1,6 +1,5 @@
 """Section 7 adaptations: undirected and weighted graphs."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.baselines.apsp import APSPOracle

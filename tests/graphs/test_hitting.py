@@ -1,7 +1,5 @@
 """Tests for the Section 2.2 hitting-set machinery."""
 
-import pytest
-
 from repro.graphs.digraph import Graph
 from repro.graphs.generators import glp_graph, grid_graph, path_graph, star_graph
 from repro.graphs.hitting import (

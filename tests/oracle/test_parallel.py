@@ -1,0 +1,110 @@
+"""Tests for the ParallelOracle worker-pool serving frontend."""
+
+import pytest
+
+from repro.baselines.pll import build_pll
+from repro.bench.workloads import random_pairs
+from repro.core.flatstore import FlatLabelStore
+from repro.graphs.generators import ba_graph
+from repro.oracle import DistanceOracle, ParallelOracle, ShardedLabelStore
+
+
+@pytest.fixture(scope="module")
+def flat():
+    graph = ba_graph(400, m=2, seed=19)
+    index, _ = build_pll(graph)
+    return FlatLabelStore.from_index(index)
+
+
+@pytest.fixture(scope="module")
+def shard_dir(flat, tmp_path_factory):
+    path = tmp_path_factory.mktemp("parallel") / "shards"
+    ShardedLabelStore.split(flat, 3).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def expected(flat):
+    pairs = random_pairs(flat.n, 600, seed=23)
+    return pairs, [flat.query(s, t) for s, t in pairs]
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_batch_matches_single_store(shard_dir, expected, executor):
+    pairs, want = expected
+    with ParallelOracle(
+        shard_dir, workers=2, executor=executor, min_parallel_batch=1
+    ) as oracle:
+        assert oracle.query_batch(pairs) == want
+
+
+def test_order_preserved_with_duplicates_and_self_pairs(shard_dir, flat):
+    # Shard-grouped fan-out permutes evaluation order; the merge must
+    # restore input order exactly, duplicates and s == t included.
+    pairs = [(5, 300), (300, 5), (5, 300), (7, 7), (399, 0), (5, 300)]
+    want = [flat.query(s, t) for s, t in pairs]
+    with ParallelOracle(
+        shard_dir, workers=3, executor="thread", min_parallel_batch=1
+    ) as oracle:
+        assert oracle.query_batch(pairs) == want
+
+
+def test_small_batches_evaluated_inline(shard_dir, expected):
+    pairs, want = expected
+    with ParallelOracle(
+        shard_dir, workers=2, executor="process", min_parallel_batch=10_000
+    ) as oracle:
+        assert oracle.query_batch(pairs) == want
+        # The pool is never started for below-threshold batches.
+        assert oracle._pool is None
+
+
+def test_single_pair_facilities_work(shard_dir, flat):
+    with ParallelOracle(shard_dir, workers=2, executor="thread") as oracle:
+        assert oracle.n == flat.n
+        assert oracle.query(3, 250) == flat.query(3, 250)
+        assert oracle.query_via(3, 250) == flat.query_via(3, 250)
+        reference = DistanceOracle(flat)
+        assert oracle.nearest(9, k=4) == reference.nearest(9, k=4)
+
+
+def test_warmup_then_query(shard_dir, expected):
+    pairs, want = expected
+    oracle = ParallelOracle(
+        shard_dir, workers=2, executor="process", min_parallel_batch=1
+    )
+    try:
+        oracle.warmup()
+        assert oracle.query_batch(pairs) == want
+    finally:
+        oracle.close()
+
+
+def test_out_of_range_pair_raises(shard_dir):
+    with ParallelOracle(
+        shard_dir, workers=2, executor="thread", min_parallel_batch=1
+    ) as oracle:
+        with pytest.raises(IndexError):
+            oracle.query_batch([(0, 1), (0, 10_000)])
+
+
+def test_close_is_idempotent(shard_dir):
+    oracle = ParallelOracle(shard_dir, workers=2, executor="thread")
+    oracle.query_batch([(0, 1)] * 2048)
+    oracle.close()
+    oracle.close()
+
+
+def test_invalid_configuration_rejected(shard_dir):
+    with pytest.raises(ValueError, match="executor"):
+        ParallelOracle(shard_dir, executor="greenlet")
+    with pytest.raises(ValueError, match="workers"):
+        ParallelOracle(shard_dir, workers=0)
+
+
+def test_default_workers_bounded_by_shards(shard_dir):
+    oracle = ParallelOracle(shard_dir, executor="thread")
+    try:
+        assert 1 <= oracle.workers <= 3
+    finally:
+        oracle.close()

@@ -205,6 +205,113 @@ class TestConvertAndBatch:
         assert "OK" in capsys.readouterr().out
 
 
+class TestShardAndParallelQuery:
+    @pytest.fixture
+    def v2_index(self, graph_file, tmp_path):
+        idx = tmp_path / "g.idx2"
+        main(["build", str(graph_file), "-o", str(idx), "--format", "v2"])
+        return idx
+
+    @pytest.fixture
+    def shard_dir(self, v2_index, tmp_path):
+        out = tmp_path / "g.shards"
+        assert main(["shard", str(v2_index), "-o", str(out),
+                     "--shards", "3"]) == 0
+        return out
+
+    def test_shard_writes_manifest_and_files(self, shard_dir, capsys):
+        assert (shard_dir / "manifest.json").exists()
+        for i in range(3):
+            assert (shard_dir / f"shard-{i:04d}.idx2").exists()
+
+    def test_shard_refuses_overwrite_without_force(self, v2_index,
+                                                   shard_dir, capsys):
+        rc = main(["shard", str(v2_index), "-o", str(shard_dir)])
+        assert rc == 2
+        assert "--force" in capsys.readouterr().err
+
+    def test_shard_force_overwrites_and_prunes(self, v2_index, shard_dir):
+        rc = main(["shard", str(v2_index), "-o", str(shard_dir),
+                   "--shards", "2", "--force"])
+        assert rc == 0
+        assert not (shard_dir / "shard-0002.idx2").exists()
+
+    def test_shard_missing_input(self, tmp_path, capsys):
+        rc = main(["shard", str(tmp_path / "nope.idx"), "-o",
+                   str(tmp_path / "out")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_shard_bad_count(self, v2_index, tmp_path, capsys):
+        rc = main(["shard", str(v2_index), "-o", str(tmp_path / "out"),
+                   "--shards", "0"])
+        assert rc == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_query_shards_matches_single_index(self, v2_index, shard_dir,
+                                               capsys):
+        main(["query", str(v2_index), "0", "10", "3", "3"])
+        single = capsys.readouterr().out
+        rc = main(["query", "--shards", str(shard_dir), "--executor",
+                   "thread", "0", "10", "3", "3"])
+        assert rc == 0
+        assert capsys.readouterr().out == single
+
+    def test_query_shards_batch_file(self, v2_index, shard_dir, tmp_path,
+                                     capsys):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("0 10\n3 3\n10 0\n")
+        main(["query", str(v2_index), "--batch", str(batch)])
+        single = capsys.readouterr().out
+        rc = main(["query", "--shards", str(shard_dir), "--workers", "2",
+                   "--executor", "thread", "--batch", str(batch)])
+        assert rc == 0
+        assert capsys.readouterr().out == single
+
+    def test_query_index_and_shards_rejected(self, v2_index, shard_dir,
+                                             capsys):
+        rc = main(["query", str(v2_index), "--shards", str(shard_dir),
+                   "0", "10"])
+        assert rc == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_query_neither_index_nor_shards(self, capsys):
+        rc = main(["query", "--batch", "whatever.txt"])
+        assert rc == 2
+        assert "INDEX file or --shards" in capsys.readouterr().err
+
+    def test_query_missing_shard_dir(self, tmp_path, capsys):
+        rc = main(["query", "--shards", str(tmp_path / "nope"), "0", "1"])
+        assert rc == 2
+        assert "not a shard directory" in capsys.readouterr().err
+
+    def test_query_shards_out_of_range(self, shard_dir, capsys):
+        rc = main(["query", "--shards", str(shard_dir), "--executor",
+                   "thread", "0", "999999"])
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_verify_accepts_shard_directory(self, graph_file, shard_dir,
+                                            capsys):
+        rc = main(["verify", str(graph_file), str(shard_dir)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_convert_refuses_overwrite_without_force(self, v2_index,
+                                                     tmp_path, capsys):
+        out = tmp_path / "conv.idx"
+        assert main(["convert", str(v2_index), "-o", str(out),
+                     "--format", "v1"]) == 0
+        capsys.readouterr()
+        rc = main(["convert", str(v2_index), "-o", str(out),
+                   "--format", "v1"])
+        assert rc == 2
+        assert "--force" in capsys.readouterr().err
+        rc = main(["convert", str(v2_index), "-o", str(out),
+                   "--format", "v1", "--force"])
+        assert rc == 0
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
