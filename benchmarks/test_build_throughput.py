@@ -1,0 +1,123 @@
+"""Construction-engine benchmark: dict vs array build wall-clock.
+
+PRs 1-2 gated the *serving* side (CSR store >= 2x tuple lists, sharded
+batches >= 1.5x single store); this file gates the *construction* side
+the same way.  One 10k-vertex Barabasi-Albert graph is indexed with
+the paper's hybrid strategy by both build engines and the file
+enforces:
+
+* **bit-identical indexes and iteration counters** between the dict
+  and array engines, and between ``jobs=1`` and multiprocess builds
+  (always);
+* the **>= 2x wall-clock floor** for the vectorized array engine over
+  the reference dict engine.  The speedup is single-process
+  vectorization (measured ~4-5x on CPython 3.11), so the floor holds
+  on single-core runners too.
+
+Every run records its measurements in ``BENCH_build_throughput.json``
+(uploaded as a CI artifact), so the construction-speed trajectory is
+visible per commit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.bench.export import write_bench_json
+from repro.core.hybrid import make_builder
+from repro.graphs.generators import ba_graph
+
+np = pytest.importorskip("numpy", reason="the array build engine requires numpy")
+
+NUM_VERTICES = 10_000
+#: Acceptance floor for the array engine vs the dict engine.  The
+#: vectorized joins measure ~4-5x on CPython 3.10-3.12; 2.0 is the
+#: criterion with headroom for machine noise.
+MIN_SPEEDUP = 2.0
+#: Worker processes for the determinism-at-scale build.
+PARALLEL_JOBS = 2
+
+_CORES = os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ba_graph(NUM_VERTICES, m=2, seed=1)
+
+
+def _timed_build(graph, **kwargs):
+    t0 = time.perf_counter()
+    result = make_builder(graph, "hybrid", **kwargs).build()
+    return result, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def builds(graph):
+    """Both engine builds of the same graph, timed once per session."""
+    dict_result, dict_seconds = _timed_build(graph, engine="dict")
+    array_result, array_seconds = _timed_build(graph, engine="array")
+    return dict_result, dict_seconds, array_result, array_seconds
+
+
+def _counters(result):
+    return [
+        (
+            it.iteration,
+            it.mode,
+            it.raw_generated,
+            it.distinct_generated,
+            it.admitted,
+            it.pruned,
+            it.survived,
+            it.total_entries,
+            it.prev_size,
+        )
+        for it in result.iterations
+    ]
+
+
+def test_engines_bit_identical(builds):
+    """The array engine rebuilds the exact index, counter for counter."""
+    dict_result, _, array_result, _ = builds
+    assert array_result.index.out_labels == dict_result.index.out_labels
+    assert array_result.index.in_labels == dict_result.index.in_labels
+    assert array_result.index.rank == dict_result.index.rank
+    assert _counters(array_result) == _counters(dict_result)
+
+
+def test_parallel_build_bit_identical(graph, builds):
+    """jobs=N at benchmark scale matches the single-process build."""
+    _, _, array_result, _ = builds
+    jobs = min(PARALLEL_JOBS, max(_CORES, 2))
+    parallel_result, _ = _timed_build(graph, engine="array", jobs=jobs)
+    assert parallel_result.index.out_labels == array_result.index.out_labels
+    assert _counters(parallel_result) == _counters(array_result)
+
+
+def test_build_speedup_floor_and_export(graph, builds):
+    """The acceptance criterion: array engine >= 2x dict wall-clock."""
+    dict_result, dict_seconds, array_result, array_seconds = builds
+    speedup = dict_seconds / array_seconds
+    write_bench_json(
+        "build_throughput",
+        {
+            "num_vertices": NUM_VERTICES,
+            "num_edges": graph.num_edges,
+            "strategy": "hybrid",
+            "iterations": len(array_result.iterations),
+            "total_entries": array_result.index.total_entries(),
+            "dict_build_seconds": round(dict_seconds, 3),
+            "array_build_seconds": round(array_seconds, 3),
+            "speedup": round(speedup, 3),
+            "floor": MIN_SPEEDUP,
+            "cores": _CORES,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"array engine {array_seconds:.2f}s vs dict engine "
+        f"{dict_seconds:.2f}s — {speedup:.2f}x is below the "
+        f"{MIN_SPEEDUP}x floor"
+    )

@@ -3,7 +3,8 @@
 Subcommands::
 
     repro build GRAPH -o INDEX [--directed] [--weighted] [--strategy S]
-                               [--format {v1,v2}]
+                               [--format {v1,v2}] [--engine {auto,array,dict}]
+                               [--jobs N] [--force]
     repro query INDEX [S T ...] [--batch FILE] [--backend {flat,list}]
                                [--mmap]
     repro query --shards DIR [S T ...] [--batch FILE] [--workers N]
@@ -39,18 +40,77 @@ from repro.utils.prettyprint import format_bytes, format_count
 from repro.utils.timer import format_duration
 
 
+def _resolve_engine(engine: str, jobs: int) -> tuple[str, int] | None:
+    """Turn the CLI engine choice into builder kwargs (None = error).
+
+    ``auto`` prefers the vectorized array engine and falls back to the
+    reference dict engine when numpy is unavailable (forcing ``jobs``
+    back to 1, since the dict engine is single-process).  The probe
+    runs here, before the graph load, so a misconfigured invocation
+    fails fast.  Both engines build bit-identical indexes.
+    """
+    if engine in ("auto", "array"):
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            if engine == "array":
+                print(
+                    "error: --engine array requires numpy; install it or "
+                    "use --engine dict",
+                    file=sys.stderr,
+                )
+                return None
+            if jobs > 1:
+                print(
+                    "warning: numpy unavailable; falling back to the dict "
+                    "engine (single-process, --jobs ignored)",
+                    file=sys.stderr,
+                )
+            return "dict", 1
+        return "array", jobs
+    if jobs > 1:
+        print(
+            "error: --jobs > 1 requires --engine array",
+            file=sys.stderr,
+        )
+        return None
+    return engine, jobs
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
+    import os
+
+    if os.path.exists(args.output) and not args.force:
+        print(
+            f"error: {args.output} already exists; pass --force to "
+            "overwrite it",
+            file=sys.stderr,
+        )
+        return 2
+    resolved = _resolve_engine(args.engine, args.jobs)
+    if resolved is None:
+        return 2
+    engine, jobs = resolved
     graph = read_edge_list(
         args.graph, directed=args.directed, weighted=args.weighted
     )
     print(f"loaded {graph}")
-    index = HopDoublingIndex.build(
-        graph, strategy=args.strategy, ranking=args.ranking
-    )
+    try:
+        index = HopDoublingIndex.build(
+            graph,
+            strategy=args.strategy,
+            ranking=args.ranking,
+            engine=engine,
+            jobs=jobs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     stats = index.stats()
+    workers = f", {jobs} jobs" if jobs > 1 else ""
     print(
         f"built in {format_duration(index.build_result.build_seconds)} "
-        f"({index.num_iterations} iterations): "
+        f"({index.num_iterations} iterations, {engine} engine{workers}): "
         f"{format_count(stats.total_entries)} entries, "
         f"avg |label| {stats.avg_label_size:.1f}, "
         f"{format_bytes(index.size_in_bytes())}"
@@ -339,6 +399,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["v1", "v2"],
         default="v1",
         help="index file format (v2 = flat-array blobs)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["auto", "array", "dict"],
+        default="auto",
+        help="construction engine: vectorized arrays or the reference "
+        "dict implementation (auto = array when numpy is available); "
+        "both produce bit-identical indexes",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for candidate generation "
+        "(array engine only; default: 1)",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing output file",
     )
     p.set_defaults(func=_cmd_build)
 

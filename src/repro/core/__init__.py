@@ -28,13 +28,27 @@ from repro.core.ranking import (
     random_ranking,
 )
 from repro.core.rules import (
+    CandidateBatch,
     CandidateSet,
     DirectedRuleEngine,
     RULE_SETS,
     UndirectedRuleEngine,
+    array_doubling,
+    array_stepping,
     make_engine,
 )
-from repro.core.pruning import PruneOutcome, admit_and_prune, exhaustive_prune
+from repro.core.pruning import (
+    PruneOutcome,
+    admit_and_prune,
+    admit_and_prune_arrays,
+    exhaustive_prune,
+)
+from repro.core.engine import (
+    BUILD_ENGINES,
+    ArrayBuildEngine,
+    DictBuildEngine,
+    make_build_engine,
+)
 from repro.core.hop_doubling import (
     BuildResult,
     HopDoubling,
@@ -75,14 +89,22 @@ __all__ = [
     "random_ranking",
     "betweenness_sample_ranking",
     "make_ranking",
+    "CandidateBatch",
     "CandidateSet",
     "DirectedRuleEngine",
     "UndirectedRuleEngine",
     "RULE_SETS",
+    "array_doubling",
+    "array_stepping",
     "make_engine",
     "PruneOutcome",
     "admit_and_prune",
+    "admit_and_prune_arrays",
     "exhaustive_prune",
+    "BUILD_ENGINES",
+    "ArrayBuildEngine",
+    "DictBuildEngine",
+    "make_build_engine",
     "BuildResult",
     "IterationStats",
     "LabelingBuilder",

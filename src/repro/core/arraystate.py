@@ -1,0 +1,601 @@
+"""Array-backed construction state for the fast build engine.
+
+The dict stores of :mod:`repro.core.labels` pay a Python-level dict
+probe per rule application and per pruning test; profiling a 10k-vertex
+Barabasi-Albert build shows ~90% of the wall clock inside those
+per-entry loops.  This module keeps the *same* label state as
+struct-of-arrays instead:
+
+* every store side (``Lout`` / ``Lin``, or the single undirected
+  ``L``) is a :class:`SideArrays` — contiguous ``owner`` / ``pivot`` /
+  ``dist`` / ``hops`` arrays sorted by ``(owner, pivot)`` with CSR
+  offsets per owner, so a vertex's label is a slice and an entry
+  lookup is one ``searchsorted`` on the combined ``owner * n + pivot``
+  key;
+* **trivial self entries are not stored**.  They only ever matter to
+  the pruning test through an entry's own pivot — exactly the route
+  ``two_hop_bound``'s ``exclude_pivot`` suppresses — so leaving them
+  out makes the vectorized bound equal the dict engine's excluded
+  bound by construction (they are re-added when freezing);
+* each iteration publishes a read-only :class:`LabelSnapshot` /
+  :class:`EdgeSnapshot` — per-vertex partner arrays re-sorted by
+  pivot *rank* so the minimized rules' "ranked between" filters become
+  one ``searchsorted`` plus a slice.  The snapshots are plain
+  picklable dataclasses: the multiprocess build engine ships them to
+  workers once per iteration.
+
+All reductions (candidate dedupe, admission, pruning) use the same
+min-``(dist, hops)`` logic as the dict engine, so the two engines — and
+any worker partition of the candidate generation — produce
+**bit-identical** label sets and iteration counters
+(``tests/core/test_parallel_build.py`` enforces this).
+
+``numpy`` is required here (and only here): the module import raises
+``ModuleNotFoundError`` if it is missing, which the engine factory
+turns into a friendly "use engine='dict'" error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.labels import (
+    DirectedLabelState,
+    LabelIndex,
+    UndirectedLabelState,
+)
+from repro.graphs.digraph import Graph
+
+#: Pruning expands each staged pair's source label; blocks of this many
+#: pairs bound the temporary row count (and peak memory) per batch.
+PRUNE_BLOCK_PAIRS = 65_536
+
+
+def expand_segments(
+    starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ragged gather: flatten the index ranges ``[starts[i], ends[i])``.
+
+    Returns ``(reps, pos)`` where ``pos`` walks every range in order
+    and ``reps[j]`` names the range ``pos[j]`` came from.  ``reps`` is
+    nondecreasing, which the pruning min-reduction relies on.
+    """
+    counts = ends - starts
+    total = int(counts.sum())
+    reps = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    if total == 0:
+        return reps, np.zeros(0, dtype=np.int64)
+    cum = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]))
+    pos = np.arange(total, dtype=np.int64) - cum[reps] + starts[reps]
+    return reps, pos
+
+
+@dataclass
+class PrevBlock:
+    """One iteration's surviving entries as parallel arrays.
+
+    The array twin of the rule engines' ``list[PrevEntry]``: ``(a, b)``
+    is the directed pair (or normalized ``(owner, pivot)`` for
+    undirected states).
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    dist: np.ndarray
+    hops: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.a.size)
+
+    @classmethod
+    def from_lists(cls, entries: Sequence[tuple[int, int, float, int]]):
+        """Build from ``(a, b, dist, hops)`` tuples (init / tests)."""
+        if not entries:
+            return cls(
+                np.zeros(0, np.int64),
+                np.zeros(0, np.int64),
+                np.zeros(0, np.float64),
+                np.zeros(0, np.int64),
+            )
+        a, b, d, h = zip(*entries)
+        return cls(
+            np.asarray(a, np.int64),
+            np.asarray(b, np.int64),
+            np.asarray(d, np.float64),
+            np.asarray(h, np.int64),
+        )
+
+
+class SideArrays:
+    """One store side as sorted parallel arrays with CSR offsets.
+
+    Entries are kept sorted by the combined key ``owner * n + pivot``;
+    ``off[v] : off[v + 1]`` is vertex ``v``'s slice.  Mutations
+    (``update_values`` / ``insert`` / ``delete``) preserve the order,
+    so lookups stay a single ``searchsorted``.
+    """
+
+    __slots__ = ("n", "owner", "piv", "dist", "hops", "key", "off")
+
+    def __init__(
+        self,
+        n: int,
+        owner: np.ndarray,
+        piv: np.ndarray,
+        dist: np.ndarray,
+        hops: np.ndarray,
+    ) -> None:
+        self.n = n
+        key = owner * n + piv
+        order = np.argsort(key)
+        self.owner = owner[order]
+        self.piv = piv[order]
+        self.dist = dist[order]
+        self.hops = hops[order]
+        self.key = key[order]
+        self._refresh_offsets()
+
+    @classmethod
+    def empty(cls, n: int) -> "SideArrays":
+        return cls(
+            n,
+            np.zeros(0, np.int64),
+            np.zeros(0, np.int64),
+            np.zeros(0, np.float64),
+            np.zeros(0, np.int64),
+        )
+
+    def _refresh_offsets(self) -> None:
+        self.off = np.searchsorted(self.owner, np.arange(self.n + 1))
+
+    def __len__(self) -> int:
+        return int(self.key.size)
+
+    # -- queries -------------------------------------------------------
+    def lookup(self, owner: np.ndarray, piv: np.ndarray):
+        """Positions and hit mask for the pairs ``owner -> piv``."""
+        qkey = owner * self.n + piv
+        pos = np.searchsorted(self.key, qkey)
+        found = np.zeros(qkey.size, dtype=bool)
+        if self.key.size:
+            inb = pos < self.key.size
+            found[inb] = self.key[pos[inb]] == qkey[inb]
+        return pos, found
+
+    # -- mutations -----------------------------------------------------
+    def update_values(
+        self, pos: np.ndarray, dist: np.ndarray, hops: np.ndarray
+    ) -> None:
+        """Overwrite the values at ``pos`` (keys unchanged)."""
+        self.dist[pos] = dist
+        self.hops[pos] = hops
+
+    def insert(
+        self,
+        owner: np.ndarray,
+        piv: np.ndarray,
+        dist: np.ndarray,
+        hops: np.ndarray,
+    ) -> None:
+        """Merge new (absent) entries, keeping the key order."""
+        if owner.size == 0:
+            return
+        key = owner * self.n + piv
+        order = np.argsort(key)
+        owner, piv, dist, hops, key = (
+            owner[order],
+            piv[order],
+            dist[order],
+            hops[order],
+            key[order],
+        )
+        pos = np.searchsorted(self.key, key)
+        self.owner = np.insert(self.owner, pos, owner)
+        self.piv = np.insert(self.piv, pos, piv)
+        self.dist = np.insert(self.dist, pos, dist)
+        self.hops = np.insert(self.hops, pos, hops)
+        self.key = np.insert(self.key, pos, key)
+        self._refresh_offsets()
+
+    def delete(self, owner: np.ndarray, piv: np.ndarray) -> None:
+        """Remove the (present) entries ``owner -> piv``."""
+        if owner.size == 0:
+            return
+        pos, found = self.lookup(owner, piv)
+        keep = np.ones(self.key.size, dtype=bool)
+        keep[pos[found]] = False
+        self.owner = self.owner[keep]
+        self.piv = self.piv[keep]
+        self.dist = self.dist[keep]
+        self.hops = self.hops[keep]
+        self.key = self.key[keep]
+        self._refresh_offsets()
+
+
+# ---------------------------------------------------------------------------
+# Read-only generation snapshots (picklable, shipped to worker processes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EdgeSnapshot:
+    """Static edge partners for Hop-Stepping joins.
+
+    Adjacency in CSR form with neighbours sorted by *rank* inside each
+    segment; ``in_key`` / ``out_key`` are ``vertex * n + rank[nbr]``
+    so a minimized rule's "rank below the prev pivot" filter is one
+    global ``searchsorted``.  For undirected graphs the ``out_*``
+    arrays hold the full neighbourhood and the ``in_*`` arrays alias
+    them.
+    """
+
+    n: int
+    directed: bool
+    rank: np.ndarray
+    in_off: np.ndarray
+    in_src: np.ndarray
+    in_wt: np.ndarray
+    in_key: np.ndarray
+    out_off: np.ndarray
+    out_tgt: np.ndarray
+    out_wt: np.ndarray
+    out_key: np.ndarray
+
+    @classmethod
+    def from_graph(cls, graph: Graph, rank: np.ndarray) -> "EdgeSnapshot":
+        n = graph.num_vertices
+        src: list[int] = []
+        tgt: list[int] = []
+        wt: list[float] = []
+        for u in range(n):
+            for v, w in graph.out_edges(u):
+                src.append(u)
+                tgt.append(v)
+                wt.append(w)
+        src_a = np.asarray(src, np.int64)
+        tgt_a = np.asarray(tgt, np.int64)
+        wt_a = np.asarray(wt, np.float64)
+
+        def csr(owner, nbr, weight):
+            order = np.lexsort((rank[nbr], owner))
+            owner, nbr, weight = owner[order], nbr[order], weight[order]
+            off = np.searchsorted(owner, np.arange(n + 1))
+            key = owner * n + rank[nbr]
+            return off, nbr, weight, key
+
+        out_off, out_tgt, out_wt, out_key = csr(src_a, tgt_a, wt_a)
+        if graph.directed:
+            in_off, in_src, in_wt, in_key = csr(tgt_a, src_a, wt_a)
+        else:
+            # Undirected adjacency lists already contain both endpoints.
+            in_off, in_src, in_wt, in_key = out_off, out_tgt, out_wt, out_key
+        return cls(
+            n=n,
+            directed=graph.directed,
+            rank=rank,
+            in_off=in_off,
+            in_src=in_src,
+            in_wt=in_wt,
+            in_key=in_key,
+            out_off=out_off,
+            out_tgt=out_tgt,
+            out_wt=out_wt,
+            out_key=out_key,
+        )
+
+
+@dataclass
+class LabelSnapshot:
+    """Per-iteration label partners for Hop-Doubling joins.
+
+    Two views of the current (pre-admission) label state:
+
+    * ``out_r_* `` / ``in_r_*`` — each side grouped by owner with
+      entries sorted by pivot rank (the Rule 1/4 partner files; the
+      ``*_key`` arrays are ``owner * n + rank[pivot]``);
+    * ``rev_out_*`` / ``rev_in_*`` — the same sides grouped by pivot
+      (the Rule 2/5 reverse indexes).
+
+    For undirected states the single store occupies the ``out``/
+    ``rev_out`` slots and the ``in`` slots alias them.
+    """
+
+    n: int
+    directed: bool
+    rank: np.ndarray
+    out_r_off: np.ndarray
+    out_r_piv: np.ndarray
+    out_r_dist: np.ndarray
+    out_r_hops: np.ndarray
+    out_r_key: np.ndarray
+    in_r_off: np.ndarray
+    in_r_piv: np.ndarray
+    in_r_dist: np.ndarray
+    in_r_hops: np.ndarray
+    in_r_key: np.ndarray
+    rev_out_off: np.ndarray
+    rev_out_owner: np.ndarray
+    rev_out_dist: np.ndarray
+    rev_out_hops: np.ndarray
+    rev_in_off: np.ndarray
+    rev_in_owner: np.ndarray
+    rev_in_dist: np.ndarray
+    rev_in_hops: np.ndarray
+
+
+def _rank_sorted_view(side: SideArrays, rank: np.ndarray):
+    """A side re-sorted by ``(owner, rank[pivot])`` with search keys."""
+    n = side.n
+    order = np.lexsort((rank[side.piv], side.owner))
+    piv = side.piv[order]
+    owner = side.owner[order]
+    key = owner * n + rank[piv]
+    # Same grouping as the pivot-sorted side, so offsets are shared.
+    return side.off, piv, side.dist[order], side.hops[order], key
+
+
+def _pivot_grouped_view(side: SideArrays):
+    """A side re-grouped by pivot (the reverse index of the rules)."""
+    n = side.n
+    order = np.lexsort((side.owner, side.piv))
+    piv = side.piv[order]
+    off = np.searchsorted(piv, np.arange(n + 1))
+    return off, side.owner[order], side.dist[order], side.hops[order]
+
+
+# ---------------------------------------------------------------------------
+# The mutable array state
+# ---------------------------------------------------------------------------
+
+
+class ArrayLabelState:
+    """Mutable struct-of-arrays label state (directed or undirected).
+
+    The array twin of :class:`DirectedLabelState` /
+    :class:`UndirectedLabelState`: the same entries (minus the implicit
+    trivial self pairs), the same admission and pruning semantics, but
+    every per-iteration operation vectorized over numpy arrays.
+    """
+
+    __slots__ = ("n", "directed", "rank", "out", "inn")
+
+    def __init__(self, rank: Sequence[int], directed: bool) -> None:
+        self.n = len(rank)
+        self.directed = directed
+        self.rank = np.asarray(rank, dtype=np.int64)
+        self.out = SideArrays.empty(self.n)
+        self.inn = SideArrays.empty(self.n) if directed else self.out
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_initial_entries(
+        cls,
+        rank: Sequence[int],
+        directed: bool,
+        entries: Sequence[tuple[int, int, float, int]],
+    ) -> "ArrayLabelState":
+        """Seed from the iteration-1 ``(a, b, dist, hops)`` entries.
+
+        Entries must already be deduplicated (one value per pair) and,
+        for undirected states, normalized to ``(owner, pivot)``.
+        """
+        state = cls(rank, directed)
+        block = PrevBlock.from_lists(entries)
+        if len(block) == 0:
+            return state
+        for side, mask, owners, pivs in state._side_groups(block.a, block.b):
+            side.insert(owners[mask], pivs[mask], block.dist[mask], block.hops[mask])
+        return state
+
+    def _side_groups(self, a: np.ndarray, b: np.ndarray):
+        """Route pairs to their store side: (side, mask, owners, pivots)."""
+        if self.directed:
+            out_mask = self.rank[b] < self.rank[a]
+            return (
+                (self.out, out_mask, a, b),
+                (self.inn, ~out_mask, b, a),
+            )
+        return ((self.out, np.ones(a.size, dtype=bool), a, b),)
+
+    # -- snapshots -----------------------------------------------------
+    def edge_snapshot(self, graph: Graph) -> EdgeSnapshot:
+        """The static stepping-partner arrays for ``graph``."""
+        return EdgeSnapshot.from_graph(graph, self.rank)
+
+    def label_snapshot(self) -> LabelSnapshot:
+        """Read-only doubling partners for the current labels."""
+        rank = self.rank
+        o_off, o_piv, o_dist, o_hops, o_key = _rank_sorted_view(self.out, rank)
+        ro_off, ro_owner, ro_dist, ro_hops = _pivot_grouped_view(self.out)
+        if self.directed:
+            i_off, i_piv, i_dist, i_hops, i_key = _rank_sorted_view(self.inn, rank)
+            ri_off, ri_owner, ri_dist, ri_hops = _pivot_grouped_view(self.inn)
+        else:
+            i_off, i_piv, i_dist, i_hops, i_key = (
+                o_off,
+                o_piv,
+                o_dist,
+                o_hops,
+                o_key,
+            )
+            ri_off, ri_owner, ri_dist, ri_hops = (
+                ro_off,
+                ro_owner,
+                ro_dist,
+                ro_hops,
+            )
+        return LabelSnapshot(
+            n=self.n,
+            directed=self.directed,
+            rank=rank,
+            out_r_off=o_off,
+            out_r_piv=o_piv,
+            out_r_dist=o_dist,
+            out_r_hops=o_hops,
+            out_r_key=o_key,
+            in_r_off=i_off,
+            in_r_piv=i_piv,
+            in_r_dist=i_dist,
+            in_r_hops=i_hops,
+            in_r_key=i_key,
+            rev_out_off=ro_off,
+            rev_out_owner=ro_owner,
+            rev_out_dist=ro_dist,
+            rev_out_hops=ro_hops,
+            rev_in_off=ri_off,
+            rev_in_owner=ri_owner,
+            rev_in_dist=ri_dist,
+            rev_in_hops=ri_hops,
+        )
+
+    # -- admission -----------------------------------------------------
+    def admit(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        dist: np.ndarray,
+        hops: np.ndarray,
+    ) -> np.ndarray:
+        """Stage deduplicated candidates; return the admitted mask.
+
+        Semantics of :func:`repro.core.pruning.admit_and_prune`'s
+        admission pass: a candidate is admitted when the pair has no
+        entry yet or strictly improves the distance; admitted values
+        overwrite in place.
+        """
+        admitted = np.zeros(a.size, dtype=bool)
+        for side, mask, owners, pivs in self._side_groups(a, b):
+            o = owners[mask]
+            if o.size == 0:
+                continue
+            p = pivs[mask]
+            d = dist[mask]
+            h = hops[mask]
+            pos, found = side.lookup(o, p)
+            better = np.zeros(o.size, dtype=bool)
+            if found.any():
+                better[found] = d[found] < side.dist[pos[found]]
+                upd = found & better
+                side.update_values(pos[upd], d[upd], h[upd])
+            new = ~found
+            side.insert(o[new], p[new], d[new], h[new])
+            admitted[mask] = new | better
+        return admitted
+
+    # -- pruning -------------------------------------------------------
+    def prunable(self, a: np.ndarray, b: np.ndarray, dist: np.ndarray):
+        """Vectorized Section 3.3 pruning test for the pairs ``a -> b``.
+
+        True where ``two_hop_bound(a, b, exclude_pivot=<own pivot>)``
+        on the equivalent dict state would be ``<= dist``: the join
+        runs over non-trivial entries only, which is exactly what the
+        exclusion admits (see the module docstring).  Like the dict
+        bound, the smaller of the two labels is expanded and the
+        larger probed; partner entries at distance ``>= dist`` are
+        dropped before the probe (edge weights are positive, so they
+        cannot complete a route of length ``<= dist``).  Evaluated in
+        blocks to bound peak memory.
+        """
+        out, inn = self.out, self.inn
+        result = np.zeros(a.size, dtype=bool)
+        size_a = out.off[a + 1] - out.off[a]
+        size_b = inn.off[b + 1] - inn.off[b]
+        expand_out = size_a <= size_b
+        for sel, exp, exp_owner, probe, probe_owner in (
+            (expand_out, out, a, inn, b),
+            (~expand_out, inn, b, out, a),
+        ):
+            idx = np.flatnonzero(sel)
+            for lo in range(0, idx.size, PRUNE_BLOCK_PAIRS):
+                blk = idx[lo : lo + PRUNE_BLOCK_PAIRS]
+                eo = exp_owner[blk]
+                reps, pos = expand_segments(exp.off[eo], exp.off[eo + 1])
+                if pos.size == 0:
+                    continue
+                d1 = exp.dist[pos]
+                keep = d1 < dist[blk][reps]
+                reps, pos, d1 = reps[keep], pos[keep], d1[keep]
+                if pos.size == 0:
+                    continue
+                p2, hit = probe.lookup(probe_owner[blk][reps], exp.piv[pos])
+                if not hit.any():
+                    continue
+                sums = d1[hit] + probe.dist[p2[hit]]
+                rh = reps[hit]  # nondecreasing (expand_segments contract)
+                seg = np.flatnonzero(
+                    np.concatenate((np.ones(1, dtype=bool), rh[1:] != rh[:-1]))
+                )
+                bounds = np.minimum.reduceat(sums, seg)
+                pair = rh[seg]
+                result[blk[pair]] = bounds <= dist[blk][pair]
+        return result
+
+    def remove(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Delete the (present) entries for the pairs ``a -> b``."""
+        for side, mask, owners, pivs in self._side_groups(a, b):
+            side.delete(owners[mask], pivs[mask])
+
+    # -- statistics / export -------------------------------------------
+    def total_entries(self) -> int:
+        """Non-trivial entries across the store sides."""
+        total = len(self.out)
+        if self.directed:
+            total += len(self.inn)
+        return total
+
+    def iter_entries(self) -> Iterator[tuple[int, int, float, int, bool]]:
+        """Yield ``(owner, pivot, dist, hops, is_out)`` like the dict states."""
+        for side, is_out in ((self.out, True), (self.inn, False)):
+            if not self.directed and not is_out:
+                break
+            owners = side.owner.tolist()
+            pivs = side.piv.tolist()
+            dists = side.dist.tolist()
+            hops = side.hops.tolist()
+            for i in range(len(owners)):
+                yield owners[i], pivs[i], dists[i], hops[i], is_out
+
+    def to_dict_state(self) -> DirectedLabelState | UndirectedLabelState:
+        """Materialize the equivalent dict-based state (same entries)."""
+        rank = self.rank.tolist()
+        if self.directed:
+            return DirectedLabelState.from_entries(rank, self.iter_entries())
+        return UndirectedLabelState.from_entries(rank, self.iter_entries())
+
+    def freeze(self) -> LabelIndex:
+        """Freeze into a queryable :class:`LabelIndex`.
+
+        Produces the same index as ``LabelIndex.from_state`` on the
+        equivalent dict state: labels sorted by pivot id with the
+        trivial ``(v, 0)`` self entries re-added.
+        """
+        out_labels = self._side_labels(self.out)
+        if self.directed:
+            in_labels = self._side_labels(self.inn)
+            return LabelIndex(self.n, True, out_labels, in_labels, self.rank.tolist())
+        return LabelIndex(self.n, False, out_labels, out_labels, self.rank.tolist())
+
+    def _side_labels(self, side: SideArrays) -> list[list[tuple[int, float]]]:
+        n = self.n
+        trivial = np.arange(n, dtype=np.int64)
+        owners = np.concatenate((side.owner, trivial))
+        pivs = np.concatenate((side.piv, trivial))
+        dists = np.concatenate((side.dist, np.zeros(n)))
+        order = np.lexsort((pivs, owners))
+        po = pivs[order].tolist()
+        do = dists[order].tolist()
+        off = np.searchsorted(owners[order], np.arange(n + 1)).tolist()
+        return [
+            list(zip(po[off[v] : off[v + 1]], do[off[v] : off[v + 1]]))
+            for v in range(n)
+        ]
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"ArrayLabelState(|V|={self.n}, {kind}, "
+            f"entries={self.total_entries()})"
+        )

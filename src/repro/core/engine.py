@@ -1,0 +1,281 @@
+"""Build engines: the pluggable construction backends of the builders.
+
+:class:`~repro.core.hop_doubling.LabelingBuilder` owns the iteration
+*schedule* (which rounds step, which double, when to stop); an engine
+owns the iteration *mechanics* — seeding the label state from the
+edges, applying the generation rules, admitting and pruning candidates,
+and freezing the final index.  Two engines implement the same
+contract:
+
+* :class:`DictBuildEngine` — the reference implementation over the
+  dict-based states of :mod:`repro.core.labels` (exactly the original
+  single-threaded construction path);
+* :class:`ArrayBuildEngine` — the vectorized engine over
+  :mod:`repro.core.arraystate` (requires numpy), with
+  :class:`repro.core.parallel_build.ParallelBuildEngine` layering
+  multiprocess candidate generation on top for ``jobs > 1``.
+
+Every engine produces **bit-identical** label entries, distances, hops
+and per-iteration counters for the same graph and ranking — the
+benchmarks and ``tests/core/test_parallel_build.py`` enforce it — so
+``engine=`` and ``jobs=`` are pure performance knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.core.labels import (
+    DirectedLabelState,
+    LabelIndex,
+    UndirectedLabelState,
+)
+from repro.core.pruning import (
+    PruneOutcome,
+    admit_and_prune,
+    exhaustive_prune,
+)
+from repro.core.ranking import Ranking
+from repro.core.rules import RULE_SETS, PrevEntry, make_engine
+from repro.graphs.digraph import Graph
+
+BUILD_ENGINES = ("dict", "array")
+
+
+def check_engine_options(engine: str, jobs: int) -> None:
+    """Validate an engine/jobs combination (one shared implementation).
+
+    Called by every entry point that accepts the knobs — the builders'
+    constructors (eager, so a bad configuration fails before any
+    build work) and :func:`make_build_engine` — so the rules and the
+    error wording can never drift apart.
+    """
+    if engine not in BUILD_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {BUILD_ENGINES}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if engine == "dict" and jobs != 1:
+        raise ValueError(
+            "jobs > 1 requires engine='array' (the dict engine is "
+            "single-process)"
+        )
+
+
+def seed_dict_state(
+    graph: Graph, rank_of: Sequence[int]
+) -> tuple[DirectedLabelState | UndirectedLabelState, list[PrevEntry]]:
+    """Seed dict stores with one entry per edge (the paper's iteration 1)."""
+    if graph.directed:
+        state: DirectedLabelState | UndirectedLabelState = DirectedLabelState(rank_of)
+    else:
+        state = UndirectedLabelState(rank_of)
+    prev: list[PrevEntry] = []
+    for u, v, w in graph.edges():
+        if u == v:
+            continue
+        if graph.directed:
+            entry = (u, v, w, 1)
+        else:
+            owner, pivot = state.owner_pivot(u, v)
+            entry = (owner, pivot, w, 1)
+        existing = state.get_pair(entry[0], entry[1])
+        if existing is not None and existing[0] <= w:
+            continue
+        state.set_pair(entry[0], entry[1], w, 1)
+        prev.append(entry)
+    return state, prev
+
+
+def seed_entries(
+    graph: Graph, rank_of: Sequence[int]
+) -> tuple[dict[tuple[int, int], float], list[tuple[int, int, float, int]]]:
+    """Iteration-1 entries as plain pairs (the array engines' seed).
+
+    Returns the final ``(a, b) -> weight`` map and the staged entry
+    list in the same order (and with the same duplicate handling) as
+    :func:`seed_dict_state` builds its ``prev``.
+    """
+    directed = graph.directed
+    pairs: dict[tuple[int, int], float] = {}
+    prev: list[tuple[int, int, float, int]] = []
+    for u, v, w in graph.edges():
+        if u == v:
+            continue
+        if not directed and rank_of[u] < rank_of[v]:
+            u, v = v, u
+        old = pairs.get((u, v))
+        if old is not None and old <= w:
+            continue
+        pairs[(u, v)] = w
+        prev.append((u, v, w, 1))
+    return pairs, prev
+
+
+class BuildEngine(Protocol):
+    """Contract between the iteration skeleton and a construction backend."""
+
+    def initialize(self):
+        """Seed the label state; return the first ``prevLabel``."""
+        ...
+
+    def generate(self, mode: str, prev):
+        """Apply the rules (``mode`` = ``"step"`` or ``"double"``)."""
+        ...
+
+    def admit_and_prune(self, candidates, prune: bool = True):
+        """Stage candidates; return ``(survivors, PruneOutcome)``."""
+        ...
+
+    def total_entries(self) -> int:
+        """Non-trivial entries currently in the state."""
+        ...
+
+    def exhaustive_prune(self) -> int:
+        """Section 5.2's final sweep; returns entries removed."""
+        ...
+
+    def freeze(self) -> LabelIndex:
+        """Freeze the state into the queryable index."""
+        ...
+
+    def close(self) -> None:
+        """Release any engine resources (worker pools)."""
+        ...
+
+
+class DictBuildEngine:
+    """The reference engine over the dict-based label states."""
+
+    name = "dict"
+
+    def __init__(self, graph: Graph, ranking: Ranking, rule_set: str) -> None:
+        self.graph = graph
+        self.ranking = ranking
+        self.rule_set = rule_set
+        self.state: DirectedLabelState | UndirectedLabelState | None = None
+        self._rules = None
+
+    def initialize(self) -> list[PrevEntry]:
+        self.state, prev = seed_dict_state(self.graph, self.ranking.rank_of)
+        self._rules = make_engine(self.state, self.graph, self.rule_set)
+        return prev
+
+    def generate(self, mode: str, prev):
+        if mode == "step":
+            return self._rules.stepping(prev)
+        return self._rules.doubling(prev)
+
+    def admit_and_prune(
+        self, candidates, prune: bool = True
+    ) -> tuple[list[PrevEntry], PruneOutcome]:
+        return admit_and_prune(self.state, candidates, prune=prune)
+
+    def total_entries(self) -> int:
+        return self.state.total_entries()
+
+    def exhaustive_prune(self) -> int:
+        return exhaustive_prune(self.state)
+
+    def freeze(self) -> LabelIndex:
+        return LabelIndex.from_state(self.state)
+
+    def close(self) -> None:
+        pass
+
+
+class ArrayBuildEngine:
+    """The vectorized engine over struct-of-arrays state (needs numpy)."""
+
+    name = "array"
+
+    def __init__(self, graph: Graph, ranking: Ranking, rule_set: str) -> None:
+        if rule_set not in RULE_SETS:
+            raise ValueError(
+                f"unknown rule_set {rule_set!r}; expected one of {RULE_SETS}"
+            )
+        self.graph = graph
+        self.ranking = ranking
+        self.full = rule_set == "full"
+        self.state = None
+        self._edges = None
+        self._final_dict_state = None
+
+    def initialize(self):
+        from repro.core.arraystate import ArrayLabelState, PrevBlock
+
+        pairs, prev = seed_entries(self.graph, self.ranking.rank_of)
+        self.state = ArrayLabelState.from_initial_entries(
+            self.ranking.rank_of,
+            self.graph.directed,
+            [(a, b, w, 1) for (a, b), w in pairs.items()],
+        )
+        return PrevBlock.from_lists(prev)
+
+    def edge_snapshot(self):
+        """The static stepping partners (built once per engine)."""
+        if self._edges is None:
+            self._edges = self.state.edge_snapshot(self.graph)
+        return self._edges
+
+    def generate(self, mode: str, prev):
+        from repro.core.rules import array_doubling, array_stepping
+
+        if mode == "step":
+            return array_stepping(self.edge_snapshot(), prev, self.full)
+        return array_doubling(self.state.label_snapshot(), prev, self.full)
+
+    def admit_and_prune(self, candidates, prune: bool = True):
+        from repro.core.pruning import admit_and_prune_arrays
+
+        return admit_and_prune_arrays(self.state, candidates, prune=prune)
+
+    def total_entries(self) -> int:
+        return self.state.total_entries()
+
+    def exhaustive_prune(self) -> int:
+        # The final sweep is a one-shot post-pass with data-dependent
+        # per-entry control flow; run it on a materialized dict state
+        # (same entries, same canonical visiting order, same result).
+        dict_state = self.state.to_dict_state()
+        removed = exhaustive_prune(dict_state)
+        self._final_dict_state = dict_state
+        return removed
+
+    def freeze(self) -> LabelIndex:
+        if self._final_dict_state is not None:
+            return LabelIndex.from_state(self._final_dict_state)
+        return self.state.freeze()
+
+    def close(self) -> None:
+        pass
+
+
+def make_build_engine(
+    graph: Graph,
+    ranking: Ranking,
+    rule_set: str = "minimized",
+    engine: str = "dict",
+    jobs: int = 1,
+) -> BuildEngine:
+    """Instantiate a construction backend by name.
+
+    ``engine`` is ``"dict"`` (reference) or ``"array"`` (vectorized,
+    requires numpy); ``jobs > 1`` selects the multiprocess
+    :class:`~repro.core.parallel_build.ParallelBuildEngine` and is
+    only available with the array engine.
+    """
+    check_engine_options(engine, jobs)
+    if engine == "dict":
+        return DictBuildEngine(graph, ranking, rule_set)
+    try:
+        import repro.core.arraystate  # noqa: F401  (probes numpy)
+    except ModuleNotFoundError as exc:
+        raise ValueError(
+            "engine='array' requires numpy; install it or use "
+            "engine='dict'"
+        ) from exc
+    if jobs > 1:
+        from repro.core.parallel_build import ParallelBuildEngine
+
+        return ParallelBuildEngine(graph, ranking, rule_set, jobs=jobs)
+    return ArrayBuildEngine(graph, ranking, rule_set)

@@ -35,6 +35,8 @@ class HybridBuilder(LabelingBuilder):
         final_exhaustive_prune: bool = False,
         max_iterations: int | None = None,
         switch_iteration: int = DEFAULT_SWITCH_ITERATION,
+        engine: str = "dict",
+        jobs: int = 1,
     ) -> None:
         super().__init__(
             graph,
@@ -43,6 +45,8 @@ class HybridBuilder(LabelingBuilder):
             prune=prune,
             final_exhaustive_prune=final_exhaustive_prune,
             max_iterations=max_iterations,
+            engine=engine,
+            jobs=jobs,
         )
         if switch_iteration < 1:
             raise ValueError(

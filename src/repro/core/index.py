@@ -66,6 +66,12 @@ class HopDoublingIndex:
         default); ``rule_set`` the four minimized or six full rules;
         ``use_bitparallel`` adds Section 6's root labels (undirected
         unweighted graphs only).
+
+        Performance knobs pass through ``builder_kwargs``:
+        ``engine="array"`` selects the vectorized construction engine
+        (requires numpy; several times faster, bit-identical output)
+        and ``jobs=N`` fans candidate generation over N worker
+        processes — see :mod:`repro.core.engine`.
         """
         builder = make_builder(
             graph,

@@ -18,7 +18,9 @@ Two families of classes live here:
 
 * :class:`DirectedLabelState` / :class:`UndirectedLabelState` — mutable
   dict-based stores used *during* index construction, with the reverse
-  indexes the rule engine needs and the 2-hop bound used for pruning;
+  indexes the rule engine needs and the 2-hop bound used for pruning
+  (the vectorized struct-of-arrays twin used by the fast build engine
+  lives in :mod:`repro.core.arraystate`);
 * :class:`LabelIndex` — the immutable, sorted-array index produced at
   the end, optimized for merge-join queries, measurable in bytes using
   the paper's 32-bit-pivot + 8-bit-distance convention, and
@@ -36,7 +38,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator, Protocol, Sequence, runtime_checkable
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.utils.atomicio import atomic_binary_writer
 
@@ -151,6 +153,24 @@ class DirectedLabelState:
                 if pivot != v:
                     yield v, pivot, dist, hops, False
 
+    @classmethod
+    def from_entries(
+        cls,
+        rank: Sequence[int],
+        entries: Iterable[tuple[int, int, float, int, bool]],
+    ) -> "DirectedLabelState":
+        """Rebuild a state from :meth:`iter_entries`-style tuples.
+
+        The inverse of :meth:`iter_entries` (trivial self entries are
+        implicit).  Used to materialize a dict state from the
+        array-backed engine, e.g. for the exhaustive pruning sweep.
+        """
+        state = cls(rank)
+        for owner, pivot, dist, hops, is_out in entries:
+            a, b = (owner, pivot) if is_out else (pivot, owner)
+            state.set_pair(a, b, dist, hops)
+        return state
+
 
 class UndirectedLabelState:
     """Mutable single-store labels for an undirected graph (Section 7).
@@ -221,6 +241,18 @@ class UndirectedLabelState:
             for pivot, (dist, hops) in self.lab[v].items():
                 if pivot != v:
                     yield v, pivot, dist, hops, True
+
+    @classmethod
+    def from_entries(
+        cls,
+        rank: Sequence[int],
+        entries: Iterable[tuple[int, int, float, int, bool]],
+    ) -> "UndirectedLabelState":
+        """Rebuild a state from :meth:`iter_entries`-style tuples."""
+        state = cls(rank)
+        for owner, pivot, dist, hops, _is_out in entries:
+            state.set_pair(owner, pivot, dist, hops)
+        return state
 
 
 # ---------------------------------------------------------------------------

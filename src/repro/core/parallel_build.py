@@ -1,0 +1,142 @@
+"""Multiprocess candidate generation: the ``jobs > 1`` build engine.
+
+The Hop-Stepping / Hop-Doubling generation step is embarrassingly
+parallel over ``prevLabel``: each prev entry joins against read-only
+partner arrays, so any partition of the block can be evaluated
+independently.  :class:`ParallelBuildEngine` partitions ``prev`` into
+contiguous chunks and fans them out over a process pool:
+
+* workers are long-lived (one pool per build).  The static context —
+  the rank array and the edge-partner CSR used by stepping rounds —
+  ships once per worker through the pool initializer, fork-friendly on
+  platforms with the ``fork`` start method;
+* doubling rounds additionally need the per-iteration
+  :class:`~repro.core.arraystate.LabelSnapshot`; it is pickled with
+  each chunk task (the snapshot is read-only, so workers never see a
+  stale or half-updated state);
+* results are concatenated **in chunk order** and deduplicated by the
+  same canonical ``lexsort`` pass the serial engine uses, so
+  ``jobs=N`` produces bit-identical candidates — and therefore
+  bit-identical label sets and ``IterationStats`` counters — to
+  ``jobs=1`` (the guarantee ``tests/core/test_parallel_build.py``
+  locks in, mirroring what the sharding layer promises for queries).
+
+Admission and pruning stay in the parent: they mutate the single
+authoritative state, and their cost is one vectorized pass per
+iteration.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.engine import ArrayBuildEngine, check_engine_options
+from repro.core.ranking import Ranking
+from repro.graphs.digraph import Graph
+
+# Per-process static context for pool workers, bound by _init_worker.
+_WORKER_CTX: tuple | None = None
+
+
+def _init_worker(edge_snapshot, full: bool) -> None:
+    """Pool initializer: bind the static generation context."""
+    global _WORKER_CTX
+    _WORKER_CTX = (edge_snapshot, full)
+
+
+def _generate_chunk(mode: str, label_snapshot, a, b, dist, hops):
+    """Apply the rules to one contiguous ``prev`` chunk in a worker."""
+    from repro.core.arraystate import PrevBlock
+    from repro.core.rules import array_doubling, array_stepping
+
+    assert _WORKER_CTX is not None, "worker initializer did not run"
+    edge_snapshot, full = _WORKER_CTX
+    prev = PrevBlock(a, b, dist, hops)
+    if mode == "step":
+        assert edge_snapshot is not None, "pool built without edge partners"
+        batch = array_stepping(edge_snapshot, prev, full)
+    else:
+        batch = array_doubling(label_snapshot, prev, full)
+    return batch.a, batch.b, batch.dist, batch.hops
+
+
+class ParallelBuildEngine(ArrayBuildEngine):
+    """Array engine with candidate generation fanned over a process pool."""
+
+    name = "array-parallel"
+
+    def __init__(
+        self,
+        graph: Graph,
+        ranking: Ranking,
+        rule_set: str,
+        jobs: int,
+    ) -> None:
+        super().__init__(graph, ranking, rule_set)
+        check_engine_options("array", jobs)
+        self.jobs = jobs
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_has_edges = False
+
+    # -- pool management ----------------------------------------------
+    def _ensure_pool(self, need_edges: bool) -> ProcessPoolExecutor:
+        """A pool whose workers carry the required static context.
+
+        The edge-partner CSR is only needed by stepping rounds, so
+        pure-doubling builds never pay for building or shipping it; if
+        a stepping round arrives after a pool was built without edges
+        (an alternating custom schedule), the pool is rebuilt once —
+        edges then stay available for the rest of the build.
+        """
+        if self._pool is not None and need_edges and not self._pool_has_edges:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            edges = self.edge_snapshot() if need_edges else None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(edges, self.full),
+            )
+            self._pool_has_edges = need_edges
+        return self._pool
+
+    # -- generation ----------------------------------------------------
+    def generate(self, mode: str, prev):
+        from repro.core.rules import CandidateBatch
+
+        size = len(prev)
+        if self.jobs == 1 or size < self.jobs:
+            return super().generate(mode, prev)
+        label_snapshot = self.state.label_snapshot() if mode == "double" else None
+        pool = self._ensure_pool(need_edges=mode == "step")
+        futures = []
+        for k in range(self.jobs):
+            lo = k * size // self.jobs
+            hi = (k + 1) * size // self.jobs
+            if lo == hi:
+                continue
+            futures.append(
+                pool.submit(
+                    _generate_chunk,
+                    mode,
+                    label_snapshot,
+                    prev.a[lo:hi],
+                    prev.b[lo:hi],
+                    prev.dist[lo:hi],
+                    prev.hops[lo:hi],
+                )
+            )
+        n = self.state.n
+        batches = [CandidateBatch(n, *future.result()) for future in futures]
+        return CandidateBatch.concatenate(batches)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

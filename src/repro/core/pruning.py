@@ -111,6 +111,66 @@ def admit_and_prune(
     )
 
 
+def admit_and_prune_arrays(state, batch, prune: bool = True):
+    """Array-engine twin of :func:`admit_and_prune`.
+
+    ``state`` is a :class:`repro.core.arraystate.ArrayLabelState` and
+    ``batch`` a :class:`repro.core.rules.CandidateBatch`; returns the
+    surviving entries as a :class:`~repro.core.arraystate.PrevBlock`
+    plus the same :class:`PruneOutcome` counters the dict path
+    produces.  Admission and the snapshot pruning bound are evaluated
+    with vectorized lookups; because candidates are deduplicated with
+    the same min-``(dist, hops)`` reduction and the bound runs against
+    the identical post-admission entry set, the outcome — entries,
+    values, and every counter — is bit-identical to the dict engine's.
+    """
+    from repro.core.arraystate import PrevBlock
+
+    raw = batch.raw
+    a, b, dist, hops = batch.dedupe()
+    distinct = int(a.size)
+    admitted_mask = state.admit(a, b, dist, hops)
+    a, b, dist, hops = (
+        a[admitted_mask],
+        b[admitted_mask],
+        dist[admitted_mask],
+        hops[admitted_mask],
+    )
+    admitted = int(a.size)
+    if not prune:
+        return PrevBlock(a, b, dist, hops), PruneOutcome(
+            raw_generated=raw,
+            distinct_generated=distinct,
+            admitted=admitted,
+            pruned=0,
+        )
+
+    # Same two-pass snapshot semantics as admit_and_prune: bounds see
+    # every staged candidate, removals are applied together.
+    doomed = state.prunable(a, b, dist)
+    state.remove(a[doomed], b[doomed])
+    keep = ~doomed
+    survivors = PrevBlock(a[keep], b[keep], dist[keep], hops[keep])
+    return survivors, PruneOutcome(
+        raw_generated=raw,
+        distinct_generated=distinct,
+        admitted=admitted,
+        pruned=int(doomed.sum()),
+    )
+
+
+def _canonical_entry_order(state, entries):
+    """Sort entries lowest-priority pivot first, then owner, then side.
+
+    A fixed visiting order makes the sweep deterministic for any
+    source of the same entry set (dict engine, array engine, worker
+    partitions) — removals within a sweep can affect later tests, so
+    the order is part of the contract.
+    """
+    rank = state.rank
+    return sorted(entries, key=lambda e: (-rank[e[1]], e[0], not e[4]))
+
+
 def exhaustive_prune(
     state: DirectedLabelState | UndirectedLabelState,
 ) -> int:
@@ -118,28 +178,83 @@ def exhaustive_prune(
 
     Section 5.2 notes that Hop-Doubling "by exhaustive pruning" reaches
     the same label size as Hop-Stepping; this post-pass implements that
-    sweep.  Entries are visited from lowest-priority pivots upward so a
-    single sweep usually converges; sweeping repeats until no entry is
-    removed.  Returns the number of entries removed.
+    sweep.  Entries are visited from lowest-priority pivots upward (a
+    deterministic order shared by both build engines).
+
+    Removing an entry can only *shrink* the labels its neighbours join
+    through — bounds are monotonically weakened — so the first full
+    sweep already removes everything removable, and what remains is
+    confirming the fixpoint.  Only entries incident to a touched
+    vertex have a changed bound to re-check: the **dirty set** tracks
+    owners whose out-label (``Lout``) or in-label (``Lin``) lost an
+    entry, and the confirmation sweep's worklist is rebuilt from the
+    stores and reverse indexes of those vertices alone, instead of
+    re-listing every entry until fixpoint.  Returns the number of
+    entries removed.
     """
     directed = isinstance(state, DirectedLabelState)
     removed_total = 0
-    while True:
-        removed = 0
-        entries = list(state.iter_entries())
+    entries = _canonical_entry_order(state, state.iter_entries())
+    while entries:
+        # (a, b, was_out) per removal this sweep, for dirty tracking.
+        removed_pairs: list[tuple[int, int, bool]] = []
         for owner, pivot, dist, _hops, is_out in entries:
             if directed:
                 a, b = (owner, pivot) if is_out else (pivot, owner)
-                exclude = pivot
             else:
                 a, b = owner, pivot
-                exclude = pivot
             if state.get_pair(a, b) is None:
                 continue  # already removed within this sweep
-            bound = state.two_hop_bound(a, b, exclude_pivot=exclude)
+            bound = state.two_hop_bound(a, b, exclude_pivot=pivot)
             if bound <= dist:
                 state.remove_pair(a, b)
-                removed += 1
-        removed_total += removed
-        if removed == 0:
-            return removed_total
+                removed_pairs.append((a, b, is_out))
+        removed_total += len(removed_pairs)
+        if not removed_pairs:
+            break
+        entries = _canonical_entry_order(
+            state, _dirty_entries(state, directed, removed_pairs)
+        )
+    return removed_total
+
+
+def _dirty_entries(state, directed, removed_pairs):
+    """Entries whose pruning bound may have changed after removals.
+
+    The bound of a pair ``(x, y)`` joins ``Lout(x)`` with ``Lin(y)``
+    (``L(x)`` with ``L(y)`` when undirected), so removing ``(a, b)``
+    dirties exactly the entries with source ``a`` (when an out-entry
+    shrank ``Lout(a)``) or target ``b`` (when an in-entry shrank
+    ``Lin(b)``); for undirected states the owner's single store shrank.
+    Entries are gathered through the stores and reverse indexes.
+    """
+    seen: dict[tuple[int, int], tuple] = {}
+    if not directed:
+        dirty = {a for a, _b, _ in removed_pairs}
+        for o in dirty:
+            for p, (d, h) in state.lab[o].items():
+                if p != o:
+                    seen[(o, p)] = (o, p, d, h, True)
+            for x, (d, h) in state.rev[o].items():
+                seen[(x, o)] = (x, o, d, h, True)
+        return seen.values()
+
+    dirty_src = {a for a, _b, was_out in removed_pairs if was_out}
+    dirty_dst = {b for _a, b, was_out in removed_pairs if not was_out}
+    for x in dirty_src:
+        # Pairs with source x: out-entries of x plus entries (x -> y)
+        # held in Lin(y), reached through rev_in[x].
+        for p, (d, h) in state.out[x].items():
+            if p != x:
+                seen[(x, p)] = (x, p, d, h, True)
+        for y, (d, h) in state.rev_in[x].items():
+            seen[(x, y)] = (y, x, d, h, False)
+    for y in dirty_dst:
+        # Pairs with target y: in-entries of y plus entries (x -> y)
+        # held in Lout(x), reached through rev_out[y].
+        for p, (d, h) in state.inn[y].items():
+            if p != y:
+                seen[(p, y)] = (y, p, d, h, False)
+        for x, (d, h) in state.rev_out[y].items():
+            seen[(x, y)] = (x, y, d, h, True)
+    return seen.values()

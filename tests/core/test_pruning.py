@@ -158,3 +158,51 @@ class TestExhaustivePrune:
                 if p != v:
                     st.set_pair(p, v, d, 0)
         assert exhaustive_prune(st) == 0
+
+    @staticmethod
+    def _unpruned_state(g, directed):
+        """A mutable state holding an unpruned stepping build's entries."""
+        from repro.core.labels import UndirectedLabelState
+
+        result = make_builder(g, "stepping", prune=False).build()
+        cls = DirectedLabelState if directed else UndirectedLabelState
+        st = cls(result.ranking.rank_of)
+        for v in range(g.num_vertices):
+            for p, d in result.index.out_labels[v]:
+                if p != v:
+                    st.set_pair(v, p, d, 0)
+            if directed:
+                for p, d in result.index.in_labels[v]:
+                    if p != v:
+                        st.set_pair(p, v, d, 0)
+        return st
+
+    def test_dirty_sweeps_reach_fixpoint(self):
+        """A second call after the dirty-set sweeps must find nothing."""
+        from repro.graphs.generators import glp_graph
+
+        for directed in (False, True):
+            g = glp_graph(80, seed=17, directed=directed)
+            st = self._unpruned_state(g, directed)
+            assert exhaustive_prune(st) > 0
+            assert exhaustive_prune(st) == 0
+
+    def test_dirty_sweeps_deterministic(self):
+        """Same entry set in, same surviving entries out — always."""
+        from repro.graphs.generators import glp_graph
+
+        g = glp_graph(70, seed=23, directed=True)
+        st1 = self._unpruned_state(g, True)
+        st2 = self._unpruned_state(g, True)
+        assert exhaustive_prune(st1) == exhaustive_prune(st2)
+        assert sorted(st1.iter_entries()) == sorted(st2.iter_entries())
+
+    def test_directed_exhaustive_matches_pruned_build(self):
+        """The directed twin of the Section 5.2 equalization check."""
+        from repro.graphs.generators import ba_graph
+
+        g = ba_graph(60, m=2, seed=3, directed=True)
+        st = self._unpruned_state(g, True)
+        exhaustive_prune(st)
+        pruned = make_builder(g, "stepping", prune=True).build().index
+        assert st.total_entries() == pruned.total_entries()

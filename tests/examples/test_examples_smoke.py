@@ -21,6 +21,7 @@ EXAMPLES = [
     "quickstart.py",
     "batch_serving.py",
     "sharded_serving.py",
+    "parallel_build.py",
 ]
 
 

@@ -71,6 +71,50 @@ class TestBuildAndQuery:
         assert rc == 2
         assert "even number" in capsys.readouterr().err
 
+    def test_build_refuses_overwrite_without_force(
+        self, graph_file, tmp_path, capsys
+    ):
+        idx = tmp_path / "g.idx"
+        assert main(["build", str(graph_file), "-o", str(idx)]) == 0
+        capsys.readouterr()
+        rc = main(["build", str(graph_file), "-o", str(idx)])
+        assert rc == 2
+        assert "--force" in capsys.readouterr().err
+
+    def test_build_force_overwrites(self, graph_file, tmp_path):
+        idx = tmp_path / "g.idx"
+        assert main(["build", str(graph_file), "-o", str(idx)]) == 0
+        rc = main(["build", str(graph_file), "-o", str(idx), "--force"])
+        assert rc == 0
+
+    def test_build_engines_agree(self, graph_file, tmp_path, capsys):
+        """--engine dict/array (and --jobs) write identical index files."""
+        pytest.importorskip("numpy")
+        outputs = {}
+        for name, flags in {
+            "dict": ["--engine", "dict"],
+            "array": ["--engine", "array"],
+            "jobs": ["--engine", "array", "--jobs", "2"],
+        }.items():
+            idx = tmp_path / f"{name}.idx"
+            rc = main(["build", str(graph_file), "-o", str(idx)] + flags)
+            assert rc == 0
+            outputs[name] = idx.read_bytes()
+        assert outputs["dict"] == outputs["array"] == outputs["jobs"]
+        assert "engine" in capsys.readouterr().out
+
+    def test_build_jobs_require_array_engine(
+        self, graph_file, tmp_path, capsys
+    ):
+        idx = tmp_path / "g.idx"
+        rc = main([
+            "build", str(graph_file), "-o", str(idx),
+            "--engine", "dict", "--jobs", "2",
+        ])
+        assert rc == 2
+        assert "--engine array" in capsys.readouterr().err
+        assert not idx.exists()
+
 
 class TestConvertAndBatch:
     @pytest.fixture
