@@ -17,12 +17,10 @@ keeps this file quick).
 
 from __future__ import annotations
 
-import gc
-import time
-
 import pytest
 
 from repro.baselines.pll import build_pll
+from repro.bench.metrics import interleaved_rates
 from repro.bench.workloads import random_pairs
 from repro.core.flatstore import FlatLabelStore
 from repro.graphs.generators import ba_graph
@@ -48,29 +46,14 @@ def pairs():
     return random_pairs(NUM_VERTICES, NUM_PAIRS, seed=77)
 
 
-def _interleaved_rates(queries, pairs, repeats: int = 9) -> list[float]:
-    """Best-of-N pairs/sec for each callable, rounds interleaved.
+def _pair_loop(query):
+    """Wrap a per-pair callable as a whole-workload run for the timer."""
 
-    Alternating the backends within each round means machine noise
-    (CPU frequency shifts, co-tenant load on CI runners) hits both
-    measurements symmetrically instead of biasing whichever ran last;
-    taking the per-backend minimum discards the noisy rounds, and GC
-    is paused so collection pauses don't land on one side.
-    """
-    best = [float("inf")] * len(queries)
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        for _ in range(repeats):
-            for k, query in enumerate(queries):
-                t0 = time.perf_counter()
-                for s, t in pairs:
-                    query(s, t)
-                best[k] = min(best[k], time.perf_counter() - t0)
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-    return [len(pairs) / b for b in best]
+    def run(pairs):
+        for s, t in pairs:
+            query(s, t)
+
+    return run
 
 
 def test_list_store_throughput(benchmark, stores, pairs):
@@ -114,8 +97,8 @@ def test_oracle_batch_throughput(benchmark, stores, pairs):
 def test_flat_store_speedup_floor(stores, pairs):
     """The acceptance criterion: CSR >= 2x tuple-list pairs/sec."""
     index, flat = stores
-    list_rate, flat_rate = _interleaved_rates(
-        [index.query, flat.query], pairs
+    list_rate, flat_rate = interleaved_rates(
+        [_pair_loop(index.query), _pair_loop(flat.query)], pairs, repeats=9
     )
     assert flat_rate >= MIN_SPEEDUP * list_rate, (
         f"flat store {flat_rate:,.0f} pairs/s vs list store "

@@ -51,6 +51,41 @@ def time_queries(
     return QueryTiming(queries=len(pairs), total_seconds=elapsed)
 
 
+def interleaved_rates(
+    runs: Iterable[Callable[[object], object]],
+    workload,
+    repeats: int = 5,
+) -> list[float]:
+    """Best-of-N items/sec for each callable, rounds interleaved.
+
+    Each callable is invoked as ``run(workload)``; the returned rates
+    are ``len(workload)`` divided by the per-callable minimum
+    wall-clock.  Alternating the callables within each round spreads
+    machine noise (CPU frequency shifts, co-tenant load on CI runners)
+    over all measurements symmetrically instead of biasing whichever
+    ran last; taking the per-callable minimum discards the noisy
+    rounds, and GC is paused so collection pauses don't land on one
+    side.  This is the shared protocol of the perf-gate benchmarks
+    (store/build/shard/query throughput floors).
+    """
+    import gc
+
+    runs = list(runs)
+    best = [float("inf")] * len(runs)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for k, run in enumerate(runs):
+                start = time.perf_counter()
+                run(workload)
+                best[k] = min(best[k], time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return [len(workload) / b for b in best]
+
+
 class BudgetExceeded(Exception):
     """Raised inside :func:`with_budget` when the alarm fires."""
 

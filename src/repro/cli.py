@@ -3,14 +3,16 @@
 Subcommands::
 
     repro build GRAPH -o INDEX [--directed] [--weighted] [--strategy S]
-                               [--format {v1,v2}] [--engine {auto,array,dict}]
+                               [--format {v1,v2,v3}]
+                               [--engine {auto,array,dict}]
                                [--jobs N] [--force]
     repro query INDEX [S T ...] [--batch FILE] [--backend {flat,list}]
-                               [--mmap]
+                               [--mmap] [--kernel {auto,on,off}]
     repro query --shards DIR [S T ...] [--batch FILE] [--workers N]
                                [--executor {process,thread}]
-    repro convert INDEX -o OUTPUT [--format {v1,v2}] [--force]
-    repro shard INDEX -o DIR [--shards N] [--force]
+    repro convert INDEX -o OUTPUT [--format {v1,v2,v3}] [--stats]
+                               [--force]
+    repro shard INDEX -o DIR [--shards N] [--format {v2,v3}] [--force]
     repro stats GRAPH [--directed] [--weighted]
     repro generate MODEL -n N -o GRAPH [--density D] [--seed K]
     repro verify GRAPH INDEX [--samples N]
@@ -19,12 +21,16 @@ Subcommands::
 
 ``GRAPH`` files are text edge lists (``u v [w]`` per line, ``#``
 comments); ``INDEX`` files use the library's binary label formats
-(v1 per-entry structs, v2 flat-array blobs — ``repro convert``
-translates between them).  ``repro shard`` splits an index into a
-directory of per-vertex-range v2 files plus a manifest, which ``repro
-query --shards`` serves through a worker pool.  Queries are served
-through the :class:`~repro.oracle.DistanceOracle` facade; ``--batch
-FILE`` evaluates one ``s t`` pair per line with grouped merge joins.
+(v1 per-entry structs, v2 flat-array blobs, v3 compact quantized
+arrays — ``repro convert`` translates between them and ``--stats``
+reports the size breakdown).  ``repro shard`` splits an index into a
+directory of per-vertex-range v2 (or, with ``--format v3``, quantized)
+files plus a manifest, which ``repro query --shards`` serves through a
+worker pool.  Queries are served through the
+:class:`~repro.oracle.DistanceOracle` facade; ``--batch FILE``
+evaluates one ``s t`` pair per line with the vectorized numpy kernel
+when available (``--kernel`` pins the choice) and grouped merge joins
+otherwise.
 """
 
 from __future__ import annotations
@@ -170,10 +176,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 args.shards,
                 workers=args.workers,
                 executor=args.executor,
+                kernel=args.kernel,
             )
         else:
             oracle = DistanceOracle.open(
-                args.index, backend=args.backend, use_mmap=args.mmap
+                args.index, backend=args.backend, use_mmap=args.mmap,
+                kernel=args.kernel,
             )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -212,7 +220,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"({rate:,.0f} pairs/s)",
                 file=sys.stderr,
             )
-    except IndexError as exc:
+    except (IndexError, ValueError) as exc:
+        # IndexError: out-of-range vertex ids; ValueError: --kernel on
+        # with a store that has no vectorized path (numpy missing or
+        # --backend list).
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -224,6 +235,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     import os
 
     from repro.core.flatstore import load_store
+    from repro.core.quantized import QuantizedLabelStore
 
     if os.path.exists(args.output) and not args.force:
         print(
@@ -234,10 +246,20 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         return 2
     try:
         store = load_store(args.index, prefer_flat=True)
-        if args.format == "v2":
-            store.save(args.output)
+        flat = (
+            store.to_flat()
+            if isinstance(store, QuantizedLabelStore)
+            else store
+        )
+        if args.format == "v3":
+            out_store = QuantizedLabelStore.from_flat(flat)
+            out_store.save(args.output)
+        elif args.format == "v2":
+            out_store = flat
+            flat.save(args.output)
         else:
-            store.to_index().save(args.output)
+            out_store = flat
+            flat.to_index().save(args.output)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -247,6 +269,22 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         f"converted {args.index} ({format_bytes(src)}) -> "
         f"{args.output} ({format_bytes(dst)}, format {args.format})"
     )
+    if args.stats:
+        stats = out_store.stats()
+        entries = out_store.total_entries(include_trivial=True)
+        print(f"  vertices        {format_count(stats.num_vertices)}")
+        print(f"  entries         {format_count(entries)}")
+        print(f"  avg |label|     {stats.avg_label_size:.1f}")
+        if isinstance(out_store, QuantizedLabelStore):
+            print(f"  pivot width     {out_store.pivot_width} B (delta)")
+            dist_kind = (
+                "quantized" if out_store.is_quantized else "raw f64"
+            )
+            print(
+                f"  dist width      {out_store.dist_width} B ({dist_kind})"
+            )
+        print(f"  bytes/entry     {dst / entries:.2f}")
+        print(f"  size vs source  {dst / src:.1%}")
     return 0
 
 
@@ -255,12 +293,14 @@ def _cmd_shard(args: argparse.Namespace) -> int:
 
     from repro.core.flatstore import load_store
     from repro.oracle import ShardedLabelStore
-    from repro.oracle.sharding import SHARD_FILE_FORMAT
+    from repro.oracle.sharding import SHARD_FILE_FORMATS
 
     try:
         store = load_store(args.index, prefer_flat=True)
         sharded = ShardedLabelStore.split(store, args.shards)
-        manifest_path = sharded.save(args.output, overwrite=args.force)
+        manifest_path = sharded.save(
+            args.output, overwrite=args.force, format=args.format
+        )
     except FileExistsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -270,7 +310,9 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     total = 0
     for i, (lo, hi) in enumerate(sharded.ranges):
         size = os.path.getsize(
-            os.path.join(args.output, SHARD_FILE_FORMAT.format(i))
+            os.path.join(
+                args.output, SHARD_FILE_FORMATS[args.format].format(i)
+            )
         )
         total += size
         print(
@@ -279,8 +321,8 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         )
     print(
         f"sharded {args.index} -> {args.output} "
-        f"({args.shards} shards, {format_bytes(total)}, "
-        f"manifest {manifest_path.name})"
+        f"({args.shards} shards, format {args.format}, "
+        f"{format_bytes(total)}, manifest {manifest_path.name})"
     )
     return 0
 
@@ -396,9 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=["v1", "v2"],
+        choices=["v1", "v2", "v3"],
         default="v1",
-        help="index file format (v2 = flat-array blobs)",
+        help="index file format (v2 = flat-array blobs, v3 = compact "
+        "quantized arrays)",
     )
     p.add_argument(
         "--engine",
@@ -444,7 +487,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--mmap",
         action="store_true",
-        help="memory-map a v2 index instead of reading it",
+        help="memory-map a v2/v3 index instead of reading it",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="vectorized numpy batch evaluation (default: auto — used "
+        "when numpy and a flat/quantized backend are available)",
     )
     p.add_argument(
         "--shards",
@@ -467,15 +517,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
-        "convert", help="convert an index file between formats v1 and v2"
+        "convert", help="convert an index file between formats v1/v2/v3"
     )
-    p.add_argument("index", help="index file in either format")
+    p.add_argument("index", help="index file in any format")
     p.add_argument("-o", "--output", required=True, help="converted output")
     p.add_argument(
         "--format",
-        choices=["v1", "v2"],
+        choices=["v1", "v2", "v3"],
         default="v2",
-        help="target format (default: v2 flat-array)",
+        help="target format (default: v2 flat-array; v3 = compact "
+        "quantized arrays)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="report entry counts, encoding widths, and size ratios",
     )
     p.add_argument(
         "--force",
@@ -498,6 +554,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         metavar="N",
         help="number of contiguous vertex-range shards (default: 4)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["v2", "v3"],
+        default="v2",
+        help="per-shard file format (default: v2; v3 = compact "
+        "quantized arrays)",
     )
     p.add_argument(
         "--force",

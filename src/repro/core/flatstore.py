@@ -142,6 +142,7 @@ class FlatLabelStore:
         "in_pivots",
         "in_dists",
         "_mmap",
+        "_np",
     )
 
     def __init__(
@@ -166,6 +167,9 @@ class FlatLabelStore:
         self.in_dists = in_dists
         self.rank = rank
         self._mmap = None
+        # Cached numpy views of the arrays, built on demand by the
+        # batch kernel (repro.oracle.kernel); dropped on close().
+        self._np = None
 
     @property
     def is_mmapped(self) -> bool:
@@ -181,8 +185,11 @@ class FlatLabelStore:
         """
         if self._mmap is None:
             return
-        # Drop the exported buffer views before closing the mapping
-        # (mmap.close() raises BufferError while views are alive).
+        # Drop the exported buffer views (including the kernel's numpy
+        # views, which hold references to them) before closing the
+        # mapping (mmap.close() raises BufferError while views are
+        # alive).
+        self._np = None
         self.out_offsets = self.out_pivots = self.out_dists = None
         self.in_offsets = self.in_pivots = self.in_dists = None
         self._mmap.close()
@@ -236,6 +243,32 @@ class FlatLabelStore:
     def label_of(self, v: int, out: bool = True) -> list[tuple[int, float]]:
         """The (pivot, dist) list of ``v``'s out- or in-label."""
         return self.out_label(v) if out else self.in_label(v)
+
+    # -- slice views (shared with the sharded store's query paths) -----------
+    def out_slice(self, v: int):
+        """``(pivots, dists, lo, hi)`` bounds of ``Lout(v)`` in the arrays.
+
+        The uniform slice accessor the cross-store query paths (the
+        sharded store joining labels from two different shards) use:
+        plain CSR backends return the raw arrays with bounds, the
+        quantized v3 backend returns decoded per-slice lists — either
+        shape feeds the shared scalar helpers directly.
+        """
+        return (
+            self.out_pivots,
+            self.out_dists,
+            self.out_offsets[v],
+            self.out_offsets[v + 1],
+        )
+
+    def in_slice(self, v: int):
+        """``(pivots, dists, lo, hi)`` bounds of ``Lin(v)`` in the arrays."""
+        return (
+            self.in_pivots,
+            self.in_dists,
+            self.in_offsets[v],
+            self.in_offsets[v + 1],
+        )
 
     # -- querying ------------------------------------------------------------
     def _check(self, s: int, t: int) -> None:
@@ -488,7 +521,9 @@ def load_store(path, prefer_flat: bool = True, use_mmap: bool = False):
     """Open an index file of **any** format version as a label store.
 
     Sniffs the version byte: v2 loads straight into a
-    :class:`FlatLabelStore`; v1 loads through
+    :class:`FlatLabelStore`; v3 into a
+    :class:`~repro.core.quantized.QuantizedLabelStore` (the compact
+    arrays are served as-is — no decode pass); v1 loads through
     :class:`~repro.core.labels.LabelIndex` and is packed into CSR
     arrays when ``prefer_flat`` (the default), so old files get the
     fast query path for free.  With ``prefer_flat=False`` a v1 file
@@ -501,6 +536,10 @@ def load_store(path, prefer_flat: bool = True, use_mmap: bool = False):
     version = head[4]
     if version == _VERSION:
         return FlatLabelStore.load(path, use_mmap=use_mmap)
+    if version == 3:
+        from repro.core.quantized import QuantizedLabelStore
+
+        return QuantizedLabelStore.load(path, use_mmap=use_mmap)
     index = LabelIndex.load(path)
     if prefer_flat:
         return FlatLabelStore.from_index(index)

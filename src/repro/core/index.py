@@ -142,9 +142,11 @@ class HopDoublingIndex:
 
         ``format="v1"`` writes the per-entry struct format;
         ``format="v2"`` writes the flat-array blobs of
-        :mod:`repro.core.flatstore` (same contents, bulk-loadable).
-        Both writes are atomic.  ``repro convert`` translates between
-        the two on disk.
+        :mod:`repro.core.flatstore` (same contents, bulk-loadable);
+        ``format="v3"`` writes the compact quantized arrays of
+        :mod:`repro.core.quantized` (same contents, ~25-50% of the v2
+        bytes).  All writes are atomic.  ``repro convert`` translates
+        between the formats on disk.
         """
         if format == "v1":
             self.labels.save(path)
@@ -152,6 +154,10 @@ class HopDoublingIndex:
             from repro.core.flatstore import FlatLabelStore
 
             FlatLabelStore.from_index(self.labels).save(path)
+        elif format == "v3":
+            from repro.core.quantized import QuantizedLabelStore
+
+            QuantizedLabelStore.from_index(self.labels).save(path)
         else:
             raise ValueError(f"unknown index format {format!r}")
 

@@ -551,7 +551,9 @@ class LabelIndex:
 
         Version 1 files (this class's :meth:`save`) are read directly;
         version 2 flat-array files are read through
-        :mod:`repro.core.flatstore` and expanded to lists.  Raises
+        :mod:`repro.core.flatstore` and version 3 quantized files
+        through :mod:`repro.core.quantized`, both expanded to lists.
+        Raises
         ``ValueError`` on anything that is not a complete index file
         (wrong magic, unsupported version, truncation).
         """
@@ -566,6 +568,10 @@ class LabelIndex:
                     from repro.core.flatstore import FlatLabelStore
 
                     return FlatLabelStore.load(path).to_index()
+                if version == 3:
+                    from repro.core.quantized import QuantizedLabelStore
+
+                    return QuantizedLabelStore.load(path).to_index()
                 if version != _VERSION:
                     raise ValueError(f"{path}: unsupported version {version}")
                 directed = bool(flags & 1)

@@ -25,7 +25,7 @@ Quick start::
     served.query_batch(pairs)                       # fanned over the pool
 """
 
-from repro.oracle.batch import evaluate_batch, read_pair_file
+from repro.oracle.batch import KERNEL_MODES, evaluate_batch, read_pair_file
 from repro.oracle.cache import CacheInfo, LRUCache
 from repro.oracle.oracle import DEFAULT_CACHE_SIZE, DistanceOracle
 from repro.oracle.parallel import DEFAULT_MIN_PARALLEL_BATCH, ParallelOracle
@@ -43,6 +43,7 @@ __all__ = [
     "ShardError",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_MIN_PARALLEL_BATCH",
+    "KERNEL_MODES",
     "LRUCache",
     "CacheInfo",
     "evaluate_batch",

@@ -7,15 +7,19 @@ A batch of ``(s, t)`` pairs is answered in three steps:
    evaluated once and fanned back out to every position;
 2. **cache probe** — pairs already in the shared LRU are answered
    without touching the store;
-3. **grouped merge joins** — the remaining pairs are grouped by
-   source vertex so a store that implements ``query_group`` (the CSR
-   backend) builds each source's pivot dict once and probes every
-   target through it; stores without the hook fall back to per-pair
-   ``query``.
+3. **evaluation** — the remaining pairs go through the vectorized
+   numpy kernel (:mod:`repro.oracle.kernel`) when the store exposes
+   CSR arrays and numpy is importable, or otherwise through grouped
+   merge joins: pairs are grouped by source vertex so a store that
+   implements ``query_group`` (the CSR backend) builds each source's
+   pivot dict once and probes every target through it; stores without
+   the hook fall back to per-pair ``query``.
 
-Results are bit-identical to calling ``store.query`` per pair: the
-grouped path computes the same minimum over the same float sums, and
-the cache only ever stores values produced by one of those two paths.
+Results are bit-identical to calling ``store.query`` per pair
+whichever path runs: every path computes the same minimum over the
+same float64 sums, and the cache only ever stores values produced by
+one of them.  The ``kernel`` knob ("auto"/"on"/"off") exists so
+benchmarks can pin a path; "auto" is right everywhere else.
 """
 
 from __future__ import annotations
@@ -26,6 +30,35 @@ from repro.core.labels import LabelStore
 from repro.oracle.cache import LRUCache
 
 _MISS = object()
+
+#: Accepted values of the ``kernel`` knob.
+KERNEL_MODES = ("auto", "on", "off")
+
+#: Below this many unique pairs "auto" stays on the scalar path — the
+#: kernel's fixed per-call cost (array setup, np.unique) is larger
+#: than a handful of dict probes.  Purely a perf cutoff: both paths
+#: return bit-identical distances.
+MIN_KERNEL_PAIRS = 8
+
+
+def _use_kernel(store: LabelStore, kernel: str, num_pairs: int) -> bool:
+    """Resolve the ``kernel`` knob for this store and batch."""
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+        )
+    if kernel == "off":
+        return False
+    from repro.oracle import kernel as _kernel
+
+    if kernel == "on":
+        if not _kernel.supports(store):
+            raise ValueError(
+                "kernel='on' but this store has no vectorized path "
+                "(numpy missing, or a tuple-list backend)"
+            )
+        return True
+    return num_pairs >= MIN_KERNEL_PAIRS and _kernel.supports(store)
 
 
 def pair_key(store: LabelStore, s: int, t: int) -> tuple[int, int]:
@@ -43,9 +76,18 @@ def evaluate_batch(
     store: LabelStore,
     pairs: Iterable[tuple[int, int]],
     cache: LRUCache | None = None,
+    kernel: str = "auto",
 ) -> list[float]:
     """Distances for every pair, in input order."""
     pairs = list(pairs)
+    if cache is None and _use_kernel(store, kernel, len(pairs)):
+        # No cache to probe or fill: hand the raw batch straight to
+        # the kernel, skipping the per-pair Python dedupe loop.  The
+        # kernel groups by source itself, and duplicate pairs just
+        # recompute the same float64 minimum — answers are identical.
+        from repro.oracle import kernel as _kernel
+
+        return _kernel.batch_eval(store, pairs)
     results: list[float] = [0.0] * len(pairs)
     # key -> positions in `pairs` still awaiting a distance.  The
     # cache is probed once per *unique* key so repeated pairs in one
@@ -65,6 +107,17 @@ def evaluate_batch(
         pending[key] = [pos]
 
     if not pending:
+        return results
+
+    if _use_kernel(store, kernel, len(pending)):
+        from repro.oracle import kernel as _kernel
+
+        keys = list(pending)
+        for key, d in zip(keys, _kernel.batch_eval(store, keys)):
+            if cache is not None:
+                cache.put(key, d)
+            for pos in pending[key]:
+                results[pos] = d
         return results
 
     by_source: dict[int, list[int]] = {}

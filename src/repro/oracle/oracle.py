@@ -45,10 +45,12 @@ class DistanceOracle:
         store: LabelStore,
         graph: Graph | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        kernel: str = "auto",
     ) -> None:
         self.store = store
         self.graph = graph
         self.cache = LRUCache(cache_size)
+        self.kernel = kernel
         self._inverted: InvertedLabelIndex | None = None
 
     # -- construction --------------------------------------------------------
@@ -60,13 +62,16 @@ class DistanceOracle:
         use_mmap: bool = False,
         graph: Graph | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        kernel: str = "auto",
     ) -> "DistanceOracle":
-        """Open an index file (v1 or v2) and serve it.
+        """Open an index file (any format version) and serve it.
 
         ``backend`` selects the in-memory representation: ``"flat"``
-        (default) packs everything into CSR arrays for the fast query
-        path, ``"list"`` keeps/expands tuple lists.  ``use_mmap`` maps
-        a v2 file zero-copy instead of reading it.
+        (default) keeps the file's array layout — CSR for v2,
+        compact quantized for v3 — for the fast query paths;
+        ``"list"`` keeps/expands tuple lists.  ``use_mmap`` maps a
+        v2/v3 file zero-copy instead of reading it.  ``kernel``
+        ("auto"/"on"/"off") pins the batched numpy evaluation.
         """
         from repro.core.flatstore import FlatLabelStore, load_store
 
@@ -82,7 +87,7 @@ class DistanceOracle:
                 store = store.to_index()
         else:
             raise ValueError(f"unknown backend {backend!r}")
-        return cls(store, graph=graph, cache_size=cache_size)
+        return cls(store, graph=graph, cache_size=cache_size, kernel=kernel)
 
     # -- basic facts ---------------------------------------------------------
     @property
@@ -113,11 +118,14 @@ class DistanceOracle:
         """Distances for every pair, in input order.
 
         Dedupes repeated pairs, serves cache hits, and evaluates the
-        rest with grouped merge joins (see :mod:`repro.oracle.batch`).
-        Bit-identical to calling :meth:`query` per pair.
+        rest with the vectorized kernel or grouped merge joins (see
+        :mod:`repro.oracle.batch`).  Bit-identical to calling
+        :meth:`query` per pair.
         """
         cache = self.cache if self.cache.capacity > 0 else None
-        return evaluate_batch(self.store, pairs, cache=cache)
+        return evaluate_batch(
+            self.store, pairs, cache=cache, kernel=self.kernel
+        )
 
     def query_via(self, s: int, t: int) -> tuple[float, int]:
         """``(dist, best_pivot)`` — the pivot certifying the distance."""

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.graphs.digraph import Graph
-from repro.oracle.batch import evaluate_batch
+from repro.oracle.batch import KERNEL_MODES, evaluate_batch
 from repro.oracle.oracle import DEFAULT_CACHE_SIZE, DistanceOracle
 from repro.oracle.sharding import ShardedLabelStore
 
@@ -47,28 +47,44 @@ from repro.oracle.sharding import ShardedLabelStore
 #: pool dispatch overhead (pickling, wakeups) dominates below it.
 DEFAULT_MIN_PARALLEL_BATCH = 1024
 
-# Per-process store handle for process-pool workers, bound once by
+# Per-process serving state for process-pool workers, bound once by
 # _init_worker so repeated chunks pay zero reopen cost.
 _WORKER_STORE: ShardedLabelStore | None = None
+_WORKER_KERNEL: str = "auto"
 
 
-def _init_worker(shard_dir: str, use_mmap: bool) -> None:
+def _init_worker(shard_dir: str, use_mmap: bool, kernel: str) -> None:
     """Process-pool initializer: map the shard directory read-only.
 
     Checksums were already verified by the parent when it opened the
     same directory, so workers skip them and start serving in
     milliseconds even for multi-GB shard sets.
     """
-    global _WORKER_STORE
+    global _WORKER_STORE, _WORKER_KERNEL
     _WORKER_STORE = ShardedLabelStore.load(
         shard_dir, use_mmap=use_mmap, verify_checksums=False
     )
+    _WORKER_KERNEL = kernel
 
 
 def _eval_chunk(pairs: list[tuple[int, int]]) -> list[float]:
-    """Evaluate one chunk in a worker process (grouped merge joins)."""
+    """Evaluate one chunk in a worker process (kernel or merge joins)."""
     assert _WORKER_STORE is not None, "worker initializer did not run"
-    return evaluate_batch(_WORKER_STORE, pairs)
+    return evaluate_batch(_WORKER_STORE, pairs, kernel=_WORKER_KERNEL)
+
+
+def _eval_chunk_arrays(S, T):
+    """Evaluate one array-form chunk in a worker (kernel path).
+
+    The pair columns arrive as int64 numpy arrays and the distances
+    return as one float64 array: numpy buffers cross the process
+    boundary in a single memcpy-style pickle, so dispatch cost stays
+    flat as batches grow instead of paying per-tuple.
+    """
+    from repro.oracle import kernel as _kernel
+
+    assert _WORKER_STORE is not None, "worker initializer did not run"
+    return _kernel.batch_eval_arrays(_WORKER_STORE, S, T)
 
 
 class ParallelOracle(DistanceOracle):
@@ -83,6 +99,7 @@ class ParallelOracle(DistanceOracle):
         graph: Graph | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         min_parallel_batch: int = DEFAULT_MIN_PARALLEL_BATCH,
+        kernel: str = "auto",
     ) -> None:
         # Validate configuration before the store load so a bad call
         # never leaks N open shard mappings.
@@ -90,10 +107,15 @@ class ParallelOracle(DistanceOracle):
             raise ValueError(
                 f"executor must be 'process' or 'thread', got {executor!r}"
             )
+        if kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+            )
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         store = ShardedLabelStore.load(shard_dir, use_mmap=use_mmap)
-        super().__init__(store, graph=graph, cache_size=cache_size)
+        super().__init__(store, graph=graph, cache_size=cache_size,
+                         kernel=kernel)
         self.shard_dir = Path(shard_dir)
         self.executor_kind = executor
         self.use_mmap = use_mmap
@@ -112,7 +134,8 @@ class ParallelOracle(DistanceOracle):
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_init_worker,
-                    initargs=(str(self.shard_dir), self.use_mmap),
+                    initargs=(str(self.shard_dir), self.use_mmap,
+                              self.kernel),
                 )
             else:
                 self._pool = ThreadPoolExecutor(max_workers=self.workers)
@@ -157,16 +180,25 @@ class ParallelOracle(DistanceOracle):
 
         chunks = self._chunk_by_shard(pairs)
         pool = self._ensure_pool()
+        if self._kernel_active():
+            return self._fan_out_arrays(pairs, chunks, pool)
         if self.executor_kind == "process":
             futures = [
-                (positions, pool.submit(_eval_chunk, chunk))
-                for positions, chunk in chunks
+                (positions, pool.submit(
+                    _eval_chunk, [pairs[pos] for pos in positions]
+                ))
+                for positions in chunks
             ]
         else:
             store = self.store
+            kernel = self.kernel
             futures = [
-                (positions, pool.submit(evaluate_batch, store, chunk))
-                for positions, chunk in chunks
+                (positions, pool.submit(
+                    evaluate_batch, store,
+                    [pairs[pos] for pos in positions],
+                    None, kernel,
+                ))
+                for positions in chunks
             ]
         results: list[float] = [0.0] * len(pairs)
         for positions, future in futures:
@@ -174,15 +206,60 @@ class ParallelOracle(DistanceOracle):
                 results[pos] = d
         return results
 
+    def _kernel_active(self) -> bool:
+        """Whether batches fan out in array form through the kernel."""
+        if self.kernel == "off":
+            return False
+        from repro.oracle import kernel as _kernel
+
+        return _kernel.supports(self.store)
+
+    def _fan_out_arrays(self, pairs, chunks, pool) -> list[float]:
+        """Fan the batch out as numpy array chunks (the kernel path).
+
+        Each worker's chunk becomes exactly one kernel call, and both
+        the pairs and the resulting distances cross the process
+        boundary as numpy buffers — the per-tuple pickling that
+        dominated the scalar fan-out is gone.
+        """
+        import numpy as np
+
+        from repro.oracle import kernel as _kernel
+
+        sq = np.asarray(pairs, dtype=np.int64)
+        futures = []
+        if self.executor_kind == "process":
+            for positions in chunks:
+                pos = np.asarray(positions, dtype=np.int64)
+                futures.append(
+                    (pos, pool.submit(
+                        _eval_chunk_arrays, sq[pos, 0], sq[pos, 1]
+                    ))
+                )
+        else:
+            store = self.store
+            for positions in chunks:
+                pos = np.asarray(positions, dtype=np.int64)
+                futures.append(
+                    (pos, pool.submit(
+                        _kernel.batch_eval_arrays, store,
+                        sq[pos, 0], sq[pos, 1],
+                    ))
+                )
+        results = np.empty(len(pairs), dtype=np.float64)
+        for pos, future in futures:
+            results[pos] = future.result()
+        return results.tolist()
+
     def _chunk_by_shard(
         self, pairs: list[tuple[int, int]]
-    ) -> list[tuple[list[int], list[tuple[int, int]]]]:
+    ) -> list[list[int]]:
         """Split a batch into per-worker chunks, grouped by source shard.
 
-        Returns ``(positions, chunk)`` tuples whose concatenation is a
-        permutation of the input; grouping by the source vertex's shard
-        keeps each worker's dict builds inside one shard, and large
-        groups are split so no chunk exceeds ``ceil(len / workers)``.
+        Returns position lists whose concatenation is a permutation of
+        the input; grouping by the source vertex's shard keeps each
+        worker's probes inside one shard, and large groups are split
+        so no chunk exceeds ``ceil(len / workers)``.
         """
         shard_of = self.store.shard_of
         by_shard: dict[int, list[int]] = {}
@@ -192,8 +269,7 @@ class ParallelOracle(DistanceOracle):
         chunks = []
         for positions in by_shard.values():
             for i in range(0, len(positions), limit):
-                part = positions[i : i + limit]
-                chunks.append((part, [pairs[pos] for pos in part]))
+                chunks.append(positions[i : i + limit])
         return chunks
 
     # -- lifecycle -----------------------------------------------------------

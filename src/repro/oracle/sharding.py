@@ -14,15 +14,16 @@ This module partitions a flat store by **contiguous vertex range** into
   ``Lin(t)`` from the shard owning ``t``; pivot ids are global, so the
   dict-probe evaluation is identical to the single-store one and
   returns bit-identical distances.
-* **On-disk layout** — a directory holding one binary format v2 file
-  per shard (each a self-contained ``FlatLabelStore`` over its local
+* **On-disk layout** — a directory holding one label file per shard
+  (binary format v2 ``FlatLabelStore`` blobs, or compact quantized v3
+  files via ``save(format="v3")``, each self-contained over its local
   vertex range) plus ``manifest.json`` recording the global shape,
   the ``[lo, hi)`` range and SHA-256 checksum of every shard.  Loads
   validate the manifest (complete range cover, no overlaps or gaps,
   files present, checksums match) before any shard is opened, and can
   memory-map every shard for zero-copy serving.
 
-Because each shard is an ordinary v2 file, one shard's worth of state
+Because each shard is an ordinary index file, one shard's worth of state
 is exactly what a :class:`~repro.oracle.parallel.ParallelOracle`
 worker process maps — sharding here is the storage half of the
 parallel serving frontend.
@@ -40,10 +41,12 @@ from typing import Sequence
 
 from repro.core.flatstore import (
     FlatLabelStore,
+    load_store,
     merge_min_via,
     probe_min_distance,
     probe_slice_min,
 )
+from repro.core.quantized import QuantizedLabelStore
 from repro.core.labels import (
     BYTES_PER_ENTRY,
     LabelIndex,
@@ -55,9 +58,14 @@ from repro.utils.atomicio import atomic_binary_writer
 #: Manifest file name inside a shard directory.
 MANIFEST_NAME = "manifest.json"
 
-#: Shard file naming scheme (``shard-0000.idx2`` ...).
-SHARD_FILE_FORMAT = "shard-{:04d}.idx2"
-_SHARD_FILE_RE = re.compile(r"^shard-\d{4}\.idx2$")
+#: Shard file naming scheme per on-disk label format
+#: (``shard-0000.idx2`` for v2 files, ``shard-0000.idx3`` for v3).
+SHARD_FILE_FORMATS = {
+    "v2": "shard-{:04d}.idx2",
+    "v3": "shard-{:04d}.idx3",
+}
+SHARD_FILE_FORMAT = SHARD_FILE_FORMATS["v2"]
+_SHARD_FILE_RE = re.compile(r"^shard-\d{4}\.idx[23]$")
 
 _MANIFEST_FORMAT = "repro-shards"
 _MANIFEST_VERSION = 1
@@ -154,14 +162,18 @@ class ShardedLabelStore:
         """Partition any label store into ``num_shards`` range shards.
 
         Tuple-list indexes are packed through
-        :meth:`FlatLabelStore.from_index` first and any other backend
-        (including an already-sharded store being re-split to a new
-        shard count) through its ``out_label``/``in_label`` accessors;
-        the CSR arrays are then sliced per range (offsets re-based to
-        each shard's start), which preserves entry order and therefore
+        :meth:`FlatLabelStore.from_index` first, quantized v3 stores
+        are expanded to the v2 layout (the sliced shards can be
+        re-quantized at save time), and any other backend (including
+        an already-sharded store being re-split to a new shard count)
+        goes through its ``out_label``/``in_label`` accessors; the CSR
+        arrays are then sliced per range (offsets re-based to each
+        shard's start), which preserves entry order and therefore
         answers.
         """
-        if not isinstance(store, FlatLabelStore):
+        if isinstance(store, QuantizedLabelStore):
+            store = store.to_flat()
+        elif not isinstance(store, FlatLabelStore):
             if isinstance(store, LabelIndex):
                 store = FlatLabelStore.from_index(store)
             else:
@@ -209,16 +221,9 @@ class ShardedLabelStore:
             return 0.0
         a, al = self._locate(s)
         b, bl = self._locate(t)
-        return probe_min_distance(
-            a.out_pivots,
-            a.out_dists,
-            a.out_offsets[al],
-            a.out_offsets[al + 1],
-            b.in_pivots,
-            b.in_dists,
-            b.in_offsets[bl],
-            b.in_offsets[bl + 1],
-        )
+        ap, ad, ao, ae = a.out_slice(al)
+        bp, bd, bo, be = b.in_slice(bl)
+        return probe_min_distance(ap, ad, ao, ae, bp, bd, bo, be)
 
     def query_via(self, s: int, t: int) -> tuple[float, int]:
         """Like :meth:`query` but also return the best pivot (-1 if none)."""
@@ -228,16 +233,9 @@ class ShardedLabelStore:
             return 0.0, s
         a, al = self._locate(s)
         b, bl = self._locate(t)
-        return merge_min_via(
-            a.out_pivots,
-            a.out_dists,
-            a.out_offsets[al],
-            a.out_offsets[al + 1],
-            b.in_pivots,
-            b.in_dists,
-            b.in_offsets[bl],
-            b.in_offsets[bl + 1],
-        )
+        ap, ad, ao, ae = a.out_slice(al)
+        bp, bd, bo, be = b.in_slice(bl)
+        return merge_min_via(ap, ad, ao, ae, bp, bd, bo, be)
 
     def query_group(self, s: int, targets: Sequence[int]) -> list[float]:
         """Distances from ``s`` to each target, amortising the source side.
@@ -248,8 +246,8 @@ class ShardedLabelStore:
         with every target's in-label from whichever shard owns it.
         """
         a, al = self._locate(s)
-        ao, ae = a.out_offsets[al], a.out_offsets[al + 1]
-        src = dict(zip(a.out_pivots[ao:ae], a.out_dists[ao:ae]))
+        ap, ad, ao, ae = a.out_slice(al)
+        src = dict(zip(ap[ao:ae], ad[ao:ae]))
         get = src.get
         out: list[float] = []
         append = out.append
@@ -258,15 +256,8 @@ class ShardedLabelStore:
                 append(0.0)
                 continue
             b, bl = self._locate(t)
-            append(
-                probe_slice_min(
-                    get,
-                    b.in_pivots,
-                    b.in_dists,
-                    b.in_offsets[bl],
-                    b.in_offsets[bl + 1],
-                )
-            )
+            bp, bd, bo, be = b.in_slice(bl)
+            append(probe_slice_min(get, bp, bd, bo, be))
         return out
 
     # -- statistics ----------------------------------------------------------
@@ -308,15 +299,24 @@ class ShardedLabelStore:
         return all(shard.is_mmapped for shard in self.shards)
 
     # -- serialization -------------------------------------------------------
-    def save(self, path, overwrite: bool = False) -> Path:
-        """Write the shard directory: N v2 files + ``manifest.json``.
+    def save(self, path, overwrite: bool = False, format: str = "v2") -> Path:
+        """Write the shard directory: N label files + ``manifest.json``.
 
+        ``format`` selects the per-shard file format: ``"v2"`` flat
+        CSR blobs or ``"v3"`` compact quantized arrays (~25-50% of the
+        v2 bytes; shards are converted in either direction as needed).
         Each shard file is written atomically, the manifest last — a
         reader that finds a manifest therefore finds the shard files
         it names.  An existing shard directory (one with a manifest)
         is refused unless ``overwrite=True``, which also removes stale
-        ``shard-*.idx2`` files beyond the new shard count.
+        ``shard-*.idx2`` / ``shard-*.idx3`` files beyond the new shard
+        set.
         """
+        if format not in SHARD_FILE_FORMATS:
+            raise ValueError(
+                f"unknown shard format {format!r}; expected one of "
+                f"{tuple(SHARD_FILE_FORMATS)}"
+            )
         root = Path(path)
         manifest_path = root / MANIFEST_NAME
         if manifest_path.exists() and not overwrite:
@@ -327,8 +327,14 @@ class ShardedLabelStore:
         root.mkdir(parents=True, exist_ok=True)
         entries = []
         for i, ((lo, hi), shard) in enumerate(zip(self.ranges, self.shards)):
-            name = SHARD_FILE_FORMAT.format(i)
-            shard.save(root / name)
+            name = SHARD_FILE_FORMATS[format].format(i)
+            if format == "v3":
+                out = QuantizedLabelStore.from_flat(shard)
+            elif isinstance(shard, QuantizedLabelStore):
+                out = shard.to_flat()
+            else:
+                out = shard
+            out.save(root / name)
             entries.append(
                 {
                     "id": i,
@@ -352,6 +358,7 @@ class ShardedLabelStore:
             "n": self.n,
             "directed": self.directed,
             "num_shards": len(self.shards),
+            "label_format": format,
             "shards": entries,
         }
         payload = json.dumps(manifest, indent=2).encode() + b"\n"
@@ -392,7 +399,11 @@ class ShardedLabelStore:
                             "replaced; re-run `repro shard`"
                         )
                 try:
-                    shard = FlatLabelStore.load(file_path, use_mmap=use_mmap)
+                    # Sniffs the per-file version byte, so v2 and v3
+                    # shard files (and mixed directories) all load.
+                    shard = load_store(
+                        file_path, prefer_flat=True, use_mmap=use_mmap
+                    )
                 except ValueError as exc:
                     raise ShardError(f"shard {entry['id']}: {exc}") from exc
                 shards.append(shard)

@@ -152,6 +152,78 @@ class TestConvertAndBatch:
         assert main(["query", str(idx), "3", "3"]) == 0
         assert "dist(3, 3) = 0" in capsys.readouterr().out
 
+    def test_convert_to_v3_and_query(self, v1_index, tmp_path, capsys):
+        v3 = tmp_path / "g.idx3"
+        rc = main(["convert", str(v1_index), "-o", str(v3), "--format",
+                   "v3"])
+        assert rc == 0
+        assert "format v3" in capsys.readouterr().out
+        rc = main(["query", str(v3), "0", "10", "--mmap"])
+        assert rc == 0
+        assert "dist(0, 10)" in capsys.readouterr().out
+
+    def test_convert_v3_stats_report(self, v1_index, tmp_path, capsys):
+        v3 = tmp_path / "g.idx3"
+        rc = main(["convert", str(v1_index), "-o", str(v3), "--format",
+                   "v3", "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pivot width" in out
+        assert "dist width" in out
+        assert "bytes/entry" in out
+
+    def test_convert_v3_half_the_v2_size(self, v1_index, tmp_path, capsys):
+        v2 = tmp_path / "g.idx2"
+        v3 = tmp_path / "g.idx3"
+        main(["convert", str(v1_index), "-o", str(v2)])
+        main(["convert", str(v1_index), "-o", str(v3), "--format", "v3"])
+        assert v3.stat().st_size <= 0.5 * v2.stat().st_size
+
+    def test_convert_v3_round_trip_preserves_answers(
+        self, v1_index, tmp_path, capsys
+    ):
+        v3 = tmp_path / "g.idx3"
+        back = tmp_path / "g.back.idx2"
+        main(["convert", str(v1_index), "-o", str(v3), "--format", "v3"])
+        main(["convert", str(v3), "-o", str(back), "--format", "v2"])
+        main(["query", str(v1_index), "0", "17"])
+        first = capsys.readouterr().out.splitlines()[-1]
+        main(["query", str(back), "0", "17"])
+        second = capsys.readouterr().out.splitlines()[-1]
+        assert first == second
+
+    def test_build_v3_format_directly(self, graph_file, tmp_path, capsys):
+        idx = tmp_path / "g.idx3"
+        rc = main(["build", str(graph_file), "-o", str(idx), "--format",
+                   "v3"])
+        assert rc == 0
+        assert main(["query", str(idx), "3", "3"]) == 0
+        assert "dist(3, 3) = 0" in capsys.readouterr().out
+
+    def test_batch_kernel_on_off_agree(self, v1_index, graph_file,
+                                       tmp_path, capsys):
+        v3 = tmp_path / "g.idx3"
+        main(["convert", str(v1_index), "-o", str(v3), "--format", "v3"])
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("0 10\n3 7\n5 5\n1 40\n")
+        capsys.readouterr()
+        assert main(["query", str(v3), "--batch", str(batch),
+                     "--kernel", "on"]) == 0
+        on_out = capsys.readouterr().out
+        assert main(["query", str(v1_index), "--batch", str(batch),
+                     "--kernel", "off"]) == 0
+        off_out = capsys.readouterr().out
+        assert on_out == off_out
+
+    def test_query_kernel_on_without_vector_path(self, v1_index, tmp_path,
+                                                 capsys):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("0 1\n")
+        rc = main(["query", str(v1_index), "--batch", str(batch),
+                   "--backend", "list", "--kernel", "on"])
+        assert rc == 2
+        assert "kernel" in capsys.readouterr().err
+
     def test_query_missing_index(self, tmp_path, capsys):
         rc = main(["query", str(tmp_path / "nope.idx"), "0", "1"])
         assert rc == 2
@@ -267,6 +339,39 @@ class TestShardAndParallelQuery:
         assert (shard_dir / "manifest.json").exists()
         for i in range(3):
             assert (shard_dir / f"shard-{i:04d}.idx2").exists()
+
+    def test_shard_v3_format_and_query(self, v2_index, tmp_path, capsys):
+        out = tmp_path / "g.shards3"
+        rc = main(["shard", str(v2_index), "-o", str(out),
+                   "--shards", "3", "--format", "v3"])
+        assert rc == 0
+        assert "format v3" in capsys.readouterr().out
+        for i in range(3):
+            assert (out / f"shard-{i:04d}.idx3").exists()
+        main(["query", str(v2_index), "0", "10"])
+        single = capsys.readouterr().out
+        rc = main(["query", "--shards", str(out), "0", "10"])
+        assert rc == 0
+        assert capsys.readouterr().out == single
+
+    def test_shard_v3_smaller_than_v2(self, v2_index, shard_dir, tmp_path):
+        out = tmp_path / "g.shards3"
+        assert main(["shard", str(v2_index), "-o", str(out),
+                     "--shards", "3", "--format", "v3"]) == 0
+        v2_total = sum(
+            f.stat().st_size for f in shard_dir.glob("shard-*.idx2")
+        )
+        v3_total = sum(f.stat().st_size for f in out.glob("shard-*.idx3"))
+        assert v3_total <= 0.5 * v2_total
+
+    def test_verify_reads_v3_shards(self, graph_file, v2_index, tmp_path,
+                                    capsys):
+        out = tmp_path / "g.shards3"
+        main(["shard", str(v2_index), "-o", str(out), "--shards", "2",
+              "--format", "v3"])
+        rc = main(["verify", str(graph_file), str(out)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
 
     def test_shard_refuses_overwrite_without_force(self, v2_index,
                                                    shard_dir, capsys):
