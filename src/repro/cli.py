@@ -13,6 +13,8 @@ Subcommands::
     repro convert INDEX -o OUTPUT [--format {v1,v2,v3}] [--stats]
                                [--force]
     repro shard INDEX -o DIR [--shards N] [--format {v2,v3}] [--force]
+    repro update INDEX --edges FILE [-o OUT] [--shards DIR]
+                               [--engine {auto,array,dict}]
     repro stats GRAPH [--directed] [--weighted]
     repro generate MODEL -n N -o GRAPH [--density D] [--seed K]
     repro verify GRAPH INDEX [--samples N]
@@ -26,7 +28,10 @@ arrays — ``repro convert`` translates between them and ``--stats``
 reports the size breakdown).  ``repro shard`` splits an index into a
 directory of per-vertex-range v2 (or, with ``--format v3``, quantized)
 files plus a manifest, which ``repro query --shards`` serves through a
-worker pool.  Queries are served through the
+worker pool.  ``repro update`` inserts edges into a built index (or a
+shard directory) by incremental Hop-Doubling label repair — no
+rebuild; a shard directory has only its changed shards rewritten and
+their manifest checksums refreshed.  Queries are served through the
 :class:`~repro.oracle.DistanceOracle` facade; ``--batch FILE``
 evaluates one ``s t`` pair per line with the vectorized numpy kernel
 when available (``--kernel`` pins the choice) and grouped merge joins
@@ -327,6 +332,132 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_insert_edges(path) -> list[tuple[int, int, float]]:
+    """Parse an insertion edge file: one ``u v [w]`` per line.
+
+    Same conventions as the other text inputs: blank lines and
+    ``#``/``%`` comments skipped, ``.gz`` decompressed transparently.
+    Raises ``ValueError`` on malformed lines.
+    """
+    from repro.graphs.io import _open_text
+
+    out: list[tuple[int, int, float]] = []
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            body = line.split("#", 1)[0].split("%", 1)[0].strip()
+            if not body:
+                continue
+            parts = body.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'u v [w]', got {line.strip()!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+                w = float(parts[2]) if len(parts) == 3 else 1.0
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'u v [w]', got {line.strip()!r}"
+                ) from exc
+            out.append((u, v, w))
+    return out
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from repro.core.dynamic import DynamicHopDoublingIndex
+    from repro.core.flatstore import load_store
+    from repro.oracle import ShardedLabelStore
+
+    try:
+        edges = _read_insert_edges(args.edges)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not edges:
+        print(f"error: {args.edges}: no edges to insert", file=sys.stderr)
+        return 2
+    is_dir = os.path.isdir(args.index)
+    if is_dir and args.output:
+        print(
+            "error: a shard directory is reconciled in place; -o is only "
+            "for single index files",
+            file=sys.stderr,
+        )
+        return 2
+    source_version = None
+    try:
+        if is_dir:
+            store = ShardedLabelStore.load(args.index)
+        else:
+            with open(args.index, "rb") as fh:
+                head = fh.read(5)
+            source_version = head[4] if len(head) == 5 else None
+            store = load_store(args.index, prefer_flat=True)
+        if store.rank is None:
+            print(
+                f"error: {args.index} carries no ranking; rebuild the "
+                "index (repro build records it) before updating",
+                file=sys.stderr,
+            )
+            return 2
+        dyn = DynamicHopDoublingIndex.from_store(store, engine=args.engine)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    t0 = time.perf_counter()
+    try:
+        added = dyn.insert_edges(edges)
+    except (IndexError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    repair_seconds = time.perf_counter() - t0
+    delta = dyn.pop_label_delta()
+    print(
+        f"inserted {added} of {len(edges)} edges in "
+        f"{format_duration(repair_seconds)} ({dyn.engine} repair engine): "
+        f"{format_count(len(delta.vertices()))} vertex labels changed"
+    )
+    try:
+        if is_dir:
+            store.apply_updates(delta)
+            rewritten = store.reconcile(args.index)
+            print(
+                f"reconciled {args.index}: rewrote "
+                f"{len(rewritten)}/{store.num_shards} shards "
+                f"({', '.join(str(i) for i in rewritten) or 'none'})"
+            )
+        else:
+            store.apply_updates(delta)
+            target = args.output or args.index
+            if source_version == 1:
+                # Keep a v1 file in its own format: an update is not a
+                # format upgrade (that is `repro convert`'s job).
+                store.merged().to_index().save(target)
+            else:
+                store.save(target)
+            print(f"updated index written to {target}")
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.shards:
+        try:
+            sharded = ShardedLabelStore.load(args.shards)
+            sharded.apply_updates(delta)
+            rewritten = sharded.reconcile(args.shards)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"reconciled {args.shards}: rewrote "
+            f"{len(rewritten)}/{sharded.num_shards} shards "
+            f"({', '.join(str(i) for i in rewritten) or 'none'})"
+        )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = read_edge_list(
         args.graph, directed=args.directed, weighted=args.weighted
@@ -568,6 +699,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="replace an existing shard directory",
     )
     p.set_defaults(func=_cmd_shard)
+
+    p = sub.add_parser(
+        "update",
+        help="insert edges into a built index (incremental label repair)",
+    )
+    p.add_argument(
+        "index",
+        help="index file from `repro build`, or a `repro shard` directory "
+        "(reconciled in place, only changed shards rewritten)",
+    )
+    p.add_argument(
+        "--edges",
+        required=True,
+        metavar="FILE",
+        help="edge list to insert: one 'u v [w]' per line",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        help="write the updated index here (default: in place, atomic)",
+    )
+    p.add_argument(
+        "--shards",
+        metavar="DIR",
+        help="also reconcile this shard directory with the same updates",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["auto", "array", "dict"],
+        default="auto",
+        help="repair engine: vectorized arrays or the reference dict "
+        "path (auto = array when numpy is available); both produce "
+        "identical answers",
+    )
+    p.set_defaults(func=_cmd_update)
 
     p = sub.add_parser("stats", help="profile a graph (scale-free checks)")
     p.add_argument("graph", help="edge-list file")

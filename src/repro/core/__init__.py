@@ -13,6 +13,7 @@ from repro.core.labels import (
     INF,
     BYTES_PER_ENTRY,
     DirectedLabelState,
+    LabelDelta,
     LabelIndex,
     LabelStats,
     UndirectedLabelState,
@@ -79,6 +80,7 @@ __all__ = [
     "BYTES_PER_ENTRY",
     "DirectedLabelState",
     "UndirectedLabelState",
+    "LabelDelta",
     "LabelIndex",
     "LabelStats",
     "merge_join_distance",

@@ -53,6 +53,15 @@ from repro.graphs.digraph import Graph
 #: pairs bound the temporary row count (and peak memory) per batch.
 PRUNE_BLOCK_PAIRS = 65_536
 
+#: Elements in the pruning test's dense probe table (~6 MB of f64+i32,
+#: the same cache-residency reasoning as the query kernel's scatter
+#: join).  Rows per vertex block is this divided by ``n``.
+PRUNE_TABLE_ELEMS = 1 << 19
+
+#: Below this many expanded-and-filtered rows the dense probe table is
+#: not worth scattering; the global ``searchsorted`` probe runs instead.
+PRUNE_DENSE_MIN_ROWS = 8_192
+
 
 def expand_segments(
     starts: np.ndarray, ends: np.ndarray
@@ -61,15 +70,28 @@ def expand_segments(
 
     Returns ``(reps, pos)`` where ``pos`` walks every range in order
     and ``reps[j]`` names the range ``pos[j]`` came from.  ``reps`` is
-    nondecreasing, which the pruning min-reduction relies on.
+    nondecreasing, which the pruning min-reduction relies on.  Both
+    arrays are int32 when the ranges allow it — expansion output feeds
+    straight into gathers, where the narrower indexes halve the memory
+    traffic.
     """
     counts = ends - starts
     total = int(counts.sum())
-    reps = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    rdt = np.int32 if counts.size <= 0x7FFFFFFF else np.int64
+    reps = np.repeat(np.arange(counts.size, dtype=rdt), counts)
     if total == 0:
-        return reps, np.zeros(0, dtype=np.int64)
-    cum = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]))
-    pos = np.arange(total, dtype=np.int64) - cum[reps] + starts[reps]
+        return reps, np.zeros(0, dtype=rdt)
+    idt = (
+        np.int32
+        if total <= 0x7FFFFFFF and int(ends.max()) <= 0x7FFFFFFF
+        else np.int64
+    )
+    seg0 = np.cumsum(counts) - counts
+    # Per-range base offsets ride along via one repeat (sequential
+    # write) instead of two gathers through ``reps``.
+    pos = np.arange(total, dtype=idt) + np.repeat(
+        (starts - seg0).astype(idt, copy=False), counts
+    )
     return reps, pos
 
 
@@ -360,7 +382,7 @@ class ArrayLabelState:
     every per-iteration operation vectorized over numpy arrays.
     """
 
-    __slots__ = ("n", "directed", "rank", "out", "inn")
+    __slots__ = ("n", "directed", "rank", "out", "inn", "_touched", "_staged")
 
     def __init__(self, rank: Sequence[int], directed: bool) -> None:
         self.n = len(rank)
@@ -368,6 +390,27 @@ class ArrayLabelState:
         self.rank = np.asarray(rank, dtype=np.int64)
         self.out = SideArrays.empty(self.n)
         self.inn = SideArrays.empty(self.n) if directed else self.out
+        self._touched: tuple[set, set] | None = None
+        # Per-side staged-candidate overlays between stage() and
+        # commit_staged() — None outside an admission round.
+        self._staged: tuple[SideArrays, SideArrays] | None = None
+
+    def track_touched(
+        self, sets: tuple[set, set] | None = None
+    ) -> tuple[set, set]:
+        """Start recording which vertices' labels change.
+
+        Same contract as the dict states' ``track_touched``: returns
+        ``(out_owners, in_owners)`` sets that every admission and
+        removal adds its store-side owner to (undirected states fill
+        only the first).  ``sets`` re-attaches existing sets, which
+        the dynamic index uses when it swaps the state underneath.
+        """
+        if sets is not None:
+            self._touched = sets
+        elif self._touched is None:
+            self._touched = (set(), set())
+        return self._touched
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -451,6 +494,189 @@ class ArrayLabelState:
             rev_in_hops=ri_hops,
         )
 
+    def label_snapshot_for(
+        self,
+        anchors: np.ndarray | None,
+        rev_out_anchors: np.ndarray | None = None,
+        rev_in_anchors: np.ndarray | None = None,
+    ) -> LabelSnapshot:
+        """Doubling partners restricted to the anchor vertices.
+
+        The owner-grouped views cover only entries *owned by* an
+        ``anchors`` vertex (``None`` = all owners, the full views) and
+        the reverse views only entries *pivoted at* a ``rev_*_anchors``
+        vertex (``None`` falls back to ``anchors``); every other
+        vertex's segment is empty.  The doubling joins anchor
+        exclusively at the prev entries' endpoints — and the reverse
+        joins (Rules 2/5) specifically at the prev entries' *owner*
+        ends, which rank below their pivots and therefore pivot few
+        entries — so for any ``prev`` covered by the anchor sets the
+        joins produce the exact rule applications (same values, same
+        order) the full :meth:`label_snapshot` yields, while sorting
+        only the touched partner slices instead of the whole store.
+        This is what makes a repair round's cost track the fresh-entry
+        frontier rather than the index size.
+        """
+        n, rank = self.n, self.rank
+        if anchors is not None:
+            flag = np.zeros(n, dtype=bool)
+            flag[anchors] = True
+        else:
+            flag = None
+
+        def owner_view(side: SideArrays):
+            if flag is None:
+                return _rank_sorted_view(side, rank)
+            idx = np.flatnonzero(flag[side.owner])
+            owner = side.owner[idx]
+            piv = side.piv[idx]
+            order = np.lexsort((rank[piv], owner))
+            owner = owner[order]
+            piv = piv[order]
+            off = np.searchsorted(owner, np.arange(n + 1))
+            sel = idx[order]
+            return off, piv, side.dist[sel], side.hops[sel], owner * n + rank[piv]
+
+        def pivot_view(side: SideArrays, pivots):
+            if pivots is None and flag is None:
+                return _pivot_grouped_view(side)
+            if pivots is None:
+                pflag = flag
+            else:
+                pflag = np.zeros(n, dtype=bool)
+                pflag[pivots] = True
+            idx = np.flatnonzero(pflag[side.piv])
+            piv = side.piv[idx]
+            owner = side.owner[idx]
+            order = np.lexsort((owner, piv))
+            sel = idx[order]
+            off = np.searchsorted(piv[order], np.arange(n + 1))
+            return off, owner[order], side.dist[sel], side.hops[sel]
+
+        o_off, o_piv, o_dist, o_hops, o_key = owner_view(self.out)
+        ro_off, ro_owner, ro_dist, ro_hops = pivot_view(self.out, rev_out_anchors)
+        if self.directed:
+            i_off, i_piv, i_dist, i_hops, i_key = owner_view(self.inn)
+            ri_off, ri_owner, ri_dist, ri_hops = pivot_view(
+                self.inn, rev_in_anchors
+            )
+        else:
+            i_off, i_piv, i_dist, i_hops, i_key = (
+                o_off,
+                o_piv,
+                o_dist,
+                o_hops,
+                o_key,
+            )
+            ri_off, ri_owner, ri_dist, ri_hops = (
+                ro_off,
+                ro_owner,
+                ro_dist,
+                ro_hops,
+            )
+        return LabelSnapshot(
+            n=n,
+            directed=self.directed,
+            rank=rank,
+            out_r_off=o_off,
+            out_r_piv=o_piv,
+            out_r_dist=o_dist,
+            out_r_hops=o_hops,
+            out_r_key=o_key,
+            in_r_off=i_off,
+            in_r_piv=i_piv,
+            in_r_dist=i_dist,
+            in_r_hops=i_hops,
+            in_r_key=i_key,
+            rev_out_off=ro_off,
+            rev_out_owner=ro_owner,
+            rev_out_dist=ro_dist,
+            rev_out_hops=ro_hops,
+            rev_in_off=ri_off,
+            rev_in_owner=ri_owner,
+            rev_in_dist=ri_dist,
+            rev_in_hops=ri_hops,
+        )
+
+    def doubling_snapshot(self, prev: PrevBlock) -> LabelSnapshot:
+        """The cheapest snapshot that serves a doubling round over ``prev``.
+
+        A small frontier (the dynamic-update repair rounds, the tail
+        iterations of a build) gets the restricted
+        :meth:`label_snapshot_for`; a frontier touching a sizable
+        share of the vertices falls back to the full
+        :meth:`label_snapshot`, whose single global sort is cheaper
+        than masking at that scale.  Either choice yields identical
+        rule applications, so callers are free to treat this as a pure
+        performance knob.
+        """
+        anchors = np.unique(np.concatenate((prev.a, prev.b)))
+        # Rule 2 reverse joins anchor at the prev entries' ``a`` ends
+        # and Rule 5 at the ``b`` ends (for undirected states the
+        # single rev view anchors at the owners, prev.a) — restricting
+        # the reverse views to those keeps the high-degree pivots'
+        # huge reverse fan-ins out of the sort, so they stay
+        # restricted even when the owner views fall back to the full
+        # sort for a large frontier.
+        if anchors.size * 4 > self.n:
+            anchors = None
+        return self.label_snapshot_for(
+            anchors,
+            rev_out_anchors=np.unique(prev.a),
+            rev_in_anchors=np.unique(prev.b),
+        )
+
+    # -- scalar queries ------------------------------------------------
+    def owner_pivot(self, a: int, b: int) -> tuple[int, int]:
+        """Normalize an unordered pair to ``(owner, pivot)`` by rank."""
+        if self.rank[a] < self.rank[b]:
+            return b, a
+        return a, b
+
+    def get_pair_distance(self, a: int, b: int) -> float | None:
+        """Current distance of the entry for the pair ``a -> b``, if any."""
+        if self.directed:
+            if self.rank[b] < self.rank[a]:
+                side, owner, piv = self.out, a, b
+            else:
+                side, owner, piv = self.inn, b, a
+        else:
+            side = self.out
+            owner, piv = self.owner_pivot(a, b)
+        key = owner * self.n + piv
+        pos = int(np.searchsorted(side.key, key))
+        if pos < side.key.size and side.key[pos] == key:
+            return float(side.dist[pos])
+        return None
+
+    def two_hop_distance(self, s: int, t: int) -> float:
+        """Exact ``dist(s, t)`` on the current state.
+
+        The dict states' unexcluded ``two_hop_bound``: the join over
+        non-trivial entries plus the two trivial-pivot routes, which
+        both collapse to the pair's own entry (the only routes the
+        stored trivial self entries ever contribute).
+        """
+        if s == t:
+            return 0.0
+        pair = self.get_pair_distance(s, t)
+        best = np.inf if pair is None else pair
+        out, inn = self.out, self.inn
+        ao, ae = out.off[s], out.off[s + 1]
+        bo, be = inn.off[t], inn.off[t + 1]
+        if ae > ao and be > bo:
+            _, ia, ib = np.intersect1d(
+                out.piv[ao:ae],
+                inn.piv[bo:be],
+                assume_unique=True,
+                return_indices=True,
+            )
+            if ia.size:
+                best = min(
+                    best, float((out.dist[ao + ia] + inn.dist[bo + ib]).min())
+                )
+        return float(best)
+
     # -- admission -----------------------------------------------------
     def admit(
         self,
@@ -467,7 +693,7 @@ class ArrayLabelState:
         overwrite in place.
         """
         admitted = np.zeros(a.size, dtype=bool)
-        for side, mask, owners, pivs in self._side_groups(a, b):
+        for i, (side, mask, owners, pivs) in enumerate(self._side_groups(a, b)):
             o = owners[mask]
             if o.size == 0:
                 continue
@@ -483,7 +709,86 @@ class ArrayLabelState:
             new = ~found
             side.insert(o[new], p[new], d[new], h[new])
             admitted[mask] = new | better
+            if self._touched is not None:
+                self._touched[i].update(o[new | better].tolist())
         return admitted
+
+    def stage(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        dist: np.ndarray,
+        hops: np.ndarray,
+    ) -> np.ndarray:
+        """Like :meth:`admit`, but into a deferred per-side overlay.
+
+        The admitted candidates land in small staged side arrays
+        instead of the base arrays; :meth:`prunable` joins over base
+        *and* staged entries (the Section 3.3 snapshot semantics), and
+        :meth:`commit_staged` then merges only the survivors — so a
+        round that prunes most of what it admits (the common case)
+        never pays the O(index) insert-then-delete of the base arrays
+        for the doomed majority.  The admitted mask and the eventual
+        state are bit-identical to the immediate :meth:`admit` path.
+        """
+        staged_out = SideArrays.empty(self.n)
+        staged_inn = SideArrays.empty(self.n) if self.directed else staged_out
+        staged = (staged_out, staged_inn)
+        admitted = np.zeros(a.size, dtype=bool)
+        for i, (side, mask, owners, pivs) in enumerate(self._side_groups(a, b)):
+            o = owners[mask]
+            if o.size == 0:
+                continue
+            p = pivs[mask]
+            d = dist[mask]
+            h = hops[mask]
+            pos, found = side.lookup(o, p)
+            better = np.zeros(o.size, dtype=bool)
+            if found.any():
+                better[found] = d[found] < side.dist[pos[found]]
+            keep = ~found | better
+            staged[i].insert(o[keep], p[keep], d[keep], h[keep])
+            admitted[mask] = keep
+            if self._touched is not None:
+                self._touched[i].update(o[keep].tolist())
+        self._staged = staged
+        return admitted
+
+    def commit_staged(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        dist: np.ndarray,
+        hops: np.ndarray,
+        doomed: np.ndarray,
+    ) -> None:
+        """Merge the staged round into the base arrays.
+
+        ``(a, b, dist, hops)`` are the staged (admitted) candidates
+        and ``doomed`` the pruning verdicts, all in candidate order.
+        Surviving new pairs are inserted, surviving improvements
+        overwrite in place, and doomed improvements delete the (now
+        stale) base entry — the exact end state the
+        admit-then-prune-then-remove path reaches, with base mutations
+        proportional to the survivors instead of the admitted.
+        """
+        keep = ~doomed
+        for side, mask, owners, pivs in self._side_groups(a, b):
+            o = owners[mask]
+            if o.size == 0:
+                continue
+            p = pivs[mask]
+            d = dist[mask]
+            h = hops[mask]
+            k = keep[mask]
+            pos, found = side.lookup(o, p)
+            upd = found & k
+            side.update_values(pos[upd], d[upd], h[upd])
+            new = ~found & k
+            side.insert(o[new], p[new], d[new], h[new])
+            gone = found & ~k
+            side.delete(o[gone], p[gone])
+        self._staged = None
 
     # -- pruning -------------------------------------------------------
     def prunable(self, a: np.ndarray, b: np.ndarray, dist: np.ndarray):
@@ -498,45 +803,157 @@ class ArrayLabelState:
         dropped before the probe (edge weights are positive, so they
         cannot complete a route of length ``<= dist``).  Evaluated in
         blocks to bound peak memory.
+
+        Large blocks probe through a cache-resident epoch-stamped
+        scatter table (pairs sorted by probe owner, the probed side's
+        entries scattered one vertex block at a time — the query
+        kernel's dense join, transplanted): each filtered row costs
+        two O(1) gathers instead of a binary search over the whole
+        side.  Small blocks keep the global ``searchsorted`` probe.
+        Either path forms the identical ``d1 + d2`` sums, so the
+        outcome — and the bit-identity with the dict engine — does not
+        depend on the join strategy.
         """
         out, inn = self.out, self.inn
-        result = np.zeros(a.size, dtype=bool)
+        n = self.n
+        if self._staged is not None:
+            staged_out, staged_inn = self._staged
+        else:
+            staged_out = staged_inn = None
+        best = np.full(a.size, np.inf)
         size_a = out.off[a + 1] - out.off[a]
         size_b = inn.off[b + 1] - inn.off[b]
+        if staged_out is not None:
+            size_a = size_a + (staged_out.off[a + 1] - staged_out.off[a])
+            size_b = size_b + (staged_inn.off[b + 1] - staged_inn.off[b])
         expand_out = size_a <= size_b
-        for sel, exp, exp_owner, probe, probe_owner in (
-            (expand_out, out, a, inn, b),
-            (~expand_out, inn, b, out, a),
+        block_rows = PRUNE_TABLE_ELEMS // max(n, 1)
+        for sel, exps, exp_owner, probes, probe_owner in (
+            (expand_out, (out, staged_out), a, (inn, staged_inn), b),
+            (~expand_out, (inn, staged_inn), b, (out, staged_out), a),
         ):
             idx = np.flatnonzero(sel)
+            if idx.size == 0:
+                continue
+            # Sorting the pairs by probe owner makes each vertex
+            # block's rows one contiguous run (the dense path's walk);
+            # the searchsorted path is order-insensitive.
+            idx = idx[np.argsort(probe_owner[idx], kind="stable")]
             for lo in range(0, idx.size, PRUNE_BLOCK_PAIRS):
                 blk = idx[lo : lo + PRUNE_BLOCK_PAIRS]
                 eo = exp_owner[blk]
-                reps, pos = expand_segments(exp.off[eo], exp.off[eo + 1])
-                if pos.size == 0:
-                    continue
-                d1 = exp.dist[pos]
-                keep = d1 < dist[blk][reps]
-                reps, pos, d1 = reps[keep], pos[keep], d1[keep]
-                if pos.size == 0:
-                    continue
-                p2, hit = probe.lookup(probe_owner[blk][reps], exp.piv[pos])
-                if not hit.any():
-                    continue
-                sums = d1[hit] + probe.dist[p2[hit]]
-                rh = reps[hit]  # nondecreasing (expand_segments contract)
-                seg = np.flatnonzero(
-                    np.concatenate((np.ones(1, dtype=bool), rh[1:] != rh[:-1]))
-                )
-                bounds = np.minimum.reduceat(sums, seg)
-                pair = rh[seg]
-                result[blk[pair]] = bounds <= dist[blk][pair]
-        return result
+                db = dist[blk]
+                po = probe_owner[blk]
+                for exp in exps:
+                    if exp is None or len(exp) == 0:
+                        continue
+                    reps, pos = expand_segments(exp.off[eo], exp.off[eo + 1])
+                    if pos.size == 0:
+                        continue
+                    d1 = exp.dist[pos]
+                    keep = d1 < db[reps]
+                    reps, pos, d1 = reps[keep], pos[keep], d1[keep]
+                    if pos.size == 0:
+                        continue
+                    piv = exp.piv[pos]
+                    if pos.size >= PRUNE_DENSE_MIN_ROWS and block_rows >= 1:
+                        joins = [
+                            self._prune_join_dense(
+                                probes[0], probes[1], po, reps, piv, d1,
+                                block_rows,
+                            )
+                        ]
+                    else:
+                        joins = [
+                            self._prune_join_sorted(pr, po, reps, piv, d1)
+                            for pr in probes
+                            if pr is not None and len(pr)
+                        ]
+                    for bounds, pair in joins:
+                        if pair.size:
+                            at = blk[pair]
+                            best[at] = np.minimum(best[at], bounds)
+        return best <= dist
+
+    @staticmethod
+    def _prune_join_sorted(probe, po, reps, piv, d1):
+        """Probe via one global searchsorted into the side's key array."""
+        p2, hit = probe.lookup(po[reps], piv)
+        if not hit.any():
+            return np.zeros(0), np.zeros(0, np.int64)
+        sums = d1[hit] + probe.dist[p2[hit]]
+        rh = reps[hit]  # nondecreasing (expand_segments contract)
+        seg = np.flatnonzero(
+            np.concatenate((np.ones(1, dtype=bool), rh[1:] != rh[:-1]))
+        )
+        return np.minimum.reduceat(sums, seg), rh[seg]
+
+    def _prune_join_dense(self, probe, probe_staged, po, reps, piv, d1,
+                          block_rows):
+        """Probe via an epoch-stamped scatter table over vertex blocks.
+
+        ``po`` must be nondecreasing (pairs sorted by probe owner), so
+        each block of probe-owner ids owns one contiguous row run.
+        The staged overlay (if any) is scattered into the same table
+        with a min-merge, so one gather per row probes both.
+        """
+        n = self.n
+        if probe_staged is not None and len(probe_staged) == 0:
+            probe_staged = None
+        table_d = np.empty(block_rows * n, dtype=np.float64)
+        table_e = np.zeros(block_rows * n, dtype=np.int32)
+        qkey = po[reps] * n + piv
+        vedges = np.arange(0, n + block_rows, block_rows, dtype=np.int64)
+        # Rows per block: pair runs via po, then row runs via reps.
+        pair_cuts = np.searchsorted(po, vedges)
+        row_cuts = np.searchsorted(reps, pair_cuts)
+        bounds_parts = []
+        pair_parts = []
+        for k in range(vedges.size - 1):
+            r0, r1 = int(row_cuts[k]), int(row_cuts[k + 1])
+            if r0 == r1:
+                continue
+            b0 = int(vedges[k])
+            hi = min(b0 + block_rows, n)
+            shift = b0 * n
+            epoch = k + 1
+            so, se = int(probe.off[b0]), int(probe.off[hi])
+            if se > so:
+                addr = probe.key[so:se] - shift
+                table_d[addr] = probe.dist[so:se]
+                table_e[addr] = epoch
+            if probe_staged is not None:
+                so, se = int(probe_staged.off[b0]), int(probe_staged.off[hi])
+                if se > so:
+                    addr = probe_staged.key[so:se] - shift
+                    current = np.where(
+                        table_e[addr] == epoch, table_d[addr], np.inf
+                    )
+                    table_d[addr] = np.minimum(
+                        current, probe_staged.dist[so:se]
+                    )
+                    table_e[addr] = epoch
+            taddr = qkey[r0:r1] - shift
+            hit = np.flatnonzero(table_e[taddr] == epoch)
+            if hit.size == 0:
+                continue
+            sums = d1[r0:r1][hit] + table_d[taddr[hit]]
+            rh = reps[r0:r1][hit]
+            seg = np.flatnonzero(
+                np.concatenate((np.ones(1, dtype=bool), rh[1:] != rh[:-1]))
+            )
+            bounds_parts.append(np.minimum.reduceat(sums, seg))
+            pair_parts.append(rh[seg])
+        if not bounds_parts:
+            return np.zeros(0), np.zeros(0, np.int64)
+        return np.concatenate(bounds_parts), np.concatenate(pair_parts)
 
     def remove(self, a: np.ndarray, b: np.ndarray) -> None:
         """Delete the (present) entries for the pairs ``a -> b``."""
-        for side, mask, owners, pivs in self._side_groups(a, b):
+        for i, (side, mask, owners, pivs) in enumerate(self._side_groups(a, b)):
             side.delete(owners[mask], pivs[mask])
+            if self._touched is not None:
+                self._touched[i].update(owners[mask].tolist())
 
     # -- statistics / export -------------------------------------------
     def total_entries(self) -> int:

@@ -222,7 +222,12 @@ class ArrayBuildEngine:
 
         if mode == "step":
             return array_stepping(self.edge_snapshot(), prev, self.full)
-        return array_doubling(self.state.label_snapshot(), prev, self.full)
+        # doubling_snapshot restricts the partner views to the prev
+        # entries' vertices when the frontier is small (the tail
+        # iterations, and every dynamic-repair round) — identical rule
+        # applications, so the build stays bit-identical to the dict
+        # engine's.
+        return array_doubling(self.state.doubling_snapshot(prev), prev, self.full)
 
     def admit_and_prune(self, candidates, prune: bool = True):
         from repro.core.pruning import admit_and_prune_arrays

@@ -143,6 +143,8 @@ class FlatLabelStore:
         "in_dists",
         "_mmap",
         "_np",
+        "_delta_out",
+        "_delta_in",
     )
 
     def __init__(
@@ -170,6 +172,14 @@ class FlatLabelStore:
         # Cached numpy views of the arrays, built on demand by the
         # batch kernel (repro.oracle.kernel); dropped on close().
         self._np = None
+        # Staged per-vertex label updates (apply_updates): vertex ->
+        # (pivots, dists) side arrays overlaying the base CSR arrays.
+        # For undirected stores the in-side overlay aliases the
+        # out-side one, exactly like the base arrays.
+        self._delta_out: dict[int, tuple] = {}
+        self._delta_in: dict[int, tuple] = (
+            {} if directed else self._delta_out
+        )
 
     @property
     def is_mmapped(self) -> bool:
@@ -229,14 +239,96 @@ class FlatLabelStore:
         rank = list(self.rank) if self.rank is not None else None
         return LabelIndex(self.n, self.directed, out_labels, in_labels, rank)
 
+    # -- incremental updates -------------------------------------------------
+    @property
+    def has_pending_updates(self) -> bool:
+        """Whether staged label updates currently overlay the arrays."""
+        return bool(self._delta_out) or bool(self._delta_in)
+
+    def apply_updates(self, delta) -> int:
+        """Stage a :class:`~repro.core.labels.LabelDelta` as an overlay.
+
+        Each carried vertex's replacement label is kept in side arrays
+        next to the base CSR arrays; every query path consults the
+        overlay before the base slice, so updated answers are served
+        immediately with **zero rewrite** of the (possibly
+        memory-mapped) base arrays.  The batch kernel's packed key
+        views are dropped and rebuilt from the merged arrays on the
+        next batch.  Call :meth:`save` (or
+        ``ShardedLabelStore.reconcile``) to fold the overlay to disk.
+        Returns the number of label slices staged.
+        """
+        if delta.n != self.n or delta.directed != self.directed:
+            raise ValueError(
+                f"delta shape (|V|={delta.n}, directed={delta.directed}) "
+                f"does not match store (|V|={self.n}, "
+                f"directed={self.directed})"
+            )
+        staged = 0
+        sides = [(self._delta_out, delta.out)]
+        if self.directed:
+            sides.append((self._delta_in, delta.inn))
+        for target, source in sides:
+            for v, label in source.items():
+                if not 0 <= v < self.n:
+                    raise IndexError(
+                        f"delta vertex {v} out of range [0, {self.n})"
+                    )
+                target[v] = (
+                    array("i", (p for p, _ in label)),
+                    array("d", (d for _, d in label)),
+                )
+                staged += 1
+        self._np = None
+        return staged
+
+    def merged(self) -> "FlatLabelStore":
+        """Fold the staged overlay into fresh CSR arrays (v2 layout).
+
+        Returns ``self`` when nothing is staged.  The quantized
+        subclass overrides this to re-encode the merged arrays (widths
+        are re-chosen, since updates can move the maxima).
+        """
+        if not self.has_pending_updates:
+            return self
+
+        def side(slice_of):
+            offsets = array("q", [0])
+            pivots = array("i")
+            dists = array("d")
+            for v in range(self.n):
+                p, d, o, e = slice_of(v)
+                pivots.extend(p[o:e])
+                dists.extend(d[o:e])
+                offsets.append(len(pivots))
+            return offsets, pivots, dists
+
+        oo, op, od = side(self.out_slice)
+        if self.directed:
+            io, ip, id_ = side(self.in_slice)
+        else:
+            io, ip, id_ = oo, op, od
+        rank = list(self.rank) if self.rank is not None else None
+        return FlatLabelStore(
+            self.n, self.directed, oo, op, od, io, ip, id_, rank
+        )
+
     # -- LabelStore accessors ------------------------------------------------
     def out_label(self, v: int) -> list[tuple[int, float]]:
         """``Lout(v)`` as a fresh (pivot, dist) list, sorted by pivot."""
+        if self._delta_out:
+            staged = self._delta_out.get(v)
+            if staged is not None:
+                return list(zip(staged[0], staged[1]))
         o, e = self.out_offsets[v], self.out_offsets[v + 1]
         return list(zip(self.out_pivots[o:e], self.out_dists[o:e]))
 
     def in_label(self, v: int) -> list[tuple[int, float]]:
         """``Lin(v)`` as a fresh (pivot, dist) list, sorted by pivot."""
+        if self._delta_in:
+            staged = self._delta_in.get(v)
+            if staged is not None:
+                return list(zip(staged[0], staged[1]))
         o, e = self.in_offsets[v], self.in_offsets[v + 1]
         return list(zip(self.in_pivots[o:e], self.in_dists[o:e]))
 
@@ -251,9 +343,14 @@ class FlatLabelStore:
         The uniform slice accessor the cross-store query paths (the
         sharded store joining labels from two different shards) use:
         plain CSR backends return the raw arrays with bounds, the
-        quantized v3 backend returns decoded per-slice lists — either
-        shape feeds the shared scalar helpers directly.
+        quantized v3 backend returns decoded per-slice lists, and
+        vertices with a staged update return their overlay arrays —
+        any shape feeds the shared scalar helpers directly.
         """
+        if self._delta_out:
+            staged = self._delta_out.get(v)
+            if staged is not None:
+                return staged[0], staged[1], 0, len(staged[0])
         return (
             self.out_pivots,
             self.out_dists,
@@ -263,6 +360,10 @@ class FlatLabelStore:
 
     def in_slice(self, v: int):
         """``(pivots, dists, lo, hi)`` bounds of ``Lin(v)`` in the arrays."""
+        if self._delta_in:
+            staged = self._delta_in.get(v)
+            if staged is not None:
+                return staged[0], staged[1], 0, len(staged[0])
         return (
             self.in_pivots,
             self.in_dists,
@@ -286,6 +387,10 @@ class FlatLabelStore:
         self._check(s, t)
         if s == t:
             return 0.0
+        if self._delta_out or self._delta_in:
+            ap, ad, ao, ae = self.out_slice(s)
+            bp, bd, bo, be = self.in_slice(t)
+            return probe_min_distance(ap, ad, ao, ae, bp, bd, bo, be)
         return probe_min_distance(
             self.out_pivots,
             self.out_dists,
@@ -302,6 +407,10 @@ class FlatLabelStore:
         self._check(s, t)
         if s == t:
             return 0.0, s
+        if self._delta_out or self._delta_in:
+            ap, ad, ao, ae = self.out_slice(s)
+            bp, bd, bo, be = self.in_slice(t)
+            return merge_min_via(ap, ad, ao, ae, bp, bd, bo, be)
         return merge_min_via(
             self.out_pivots,
             self.out_dists,
@@ -322,6 +431,23 @@ class FlatLabelStore:
         """
         if not 0 <= s < self.n:
             raise IndexError(f"source {s} out of range [0, {self.n})")
+        if self._delta_out or self._delta_in:
+            ap, ad, ao, ae = self.out_slice(s)
+            src = dict(zip(ap[ao:ae], ad[ao:ae]))
+            get = src.get
+            out = []
+            append = out.append
+            for t in targets:
+                if not 0 <= t < self.n:
+                    raise IndexError(
+                        f"target {t} out of range [0, {self.n})"
+                    )
+                if t == s:
+                    append(0.0)
+                    continue
+                bp, bd, bo, be = self.in_slice(t)
+                append(probe_slice_min(get, bp, bd, bo, be))
+            return out
         ao, ae = self.out_offsets[s], self.out_offsets[s + 1]
         src = dict(zip(self.out_pivots[ao:ae], self.out_dists[ao:ae]))
         get = src.get
@@ -339,12 +465,28 @@ class FlatLabelStore:
             )
         return out
 
+    def _label_len(self, v: int, out: bool) -> int:
+        """Current label length of ``v`` (overlay-aware)."""
+        overlay = self._delta_out if out else self._delta_in
+        if overlay:
+            staged = overlay.get(v)
+            if staged is not None:
+                return len(staged[0])
+        offsets = self.out_offsets if out else self.in_offsets
+        return offsets[v + 1] - offsets[v]
+
     # -- statistics ----------------------------------------------------------
     def total_entries(self, include_trivial: bool = False) -> int:
         """Total label entries (self entries excluded unless asked)."""
         total = len(self.out_pivots)
         if self.directed:
             total += len(self.in_pivots)
+        sides = [(self._delta_out, self.out_offsets)]
+        if self.directed:
+            sides.append((self._delta_in, self.in_offsets))
+        for overlay, offsets in sides:
+            for v, (pivots, _) in overlay.items():
+                total += len(pivots) - (offsets[v + 1] - offsets[v])
         trivial = self.n * (2 if self.directed else 1)
         return total if include_trivial else total - trivial
 
@@ -361,12 +503,26 @@ class FlatLabelStore:
         for offsets, pivots, dists in sides:
             for arr in (offsets, pivots, dists):
                 total += len(arr) * arr.itemsize
+        overlays = [self._delta_out]
+        if self.directed:
+            overlays.append(self._delta_in)
+        for overlay in overlays:
+            for pivots, dists in overlay.values():
+                total += len(pivots) * pivots.itemsize
+                total += len(dists) * dists.itemsize
         return total
 
     def stats(self) -> LabelStats:
         """Aggregate size statistics (same semantics as LabelIndex)."""
         per_vertex = []
+        overlaid = self.has_pending_updates
         for v in range(self.n):
+            if overlaid:
+                size = self._label_len(v, out=True) - 1
+                if self.directed:
+                    size += self._label_len(v, out=False) - 1
+                per_vertex.append(size)
+                continue
             size = self.out_offsets[v + 1] - self.out_offsets[v] - 1
             if self.directed:
                 size += self.in_offsets[v + 1] - self.in_offsets[v] - 1
@@ -382,7 +538,13 @@ class FlatLabelStore:
 
     # -- serialization -------------------------------------------------------
     def save(self, path) -> None:
-        """Write binary format v2 atomically (temp file + rename)."""
+        """Write binary format v2 atomically (temp file + rename).
+
+        Staged updates are folded in first, so the file always holds
+        the merged labels."""
+        if self.has_pending_updates:
+            self.merged().save(path)
+            return
         flags = 1 if self.directed else 0
         has_rank = 1 if self.rank is not None else 0
         out_count = len(self.out_pivots)

@@ -59,7 +59,7 @@ class DirectedLabelState:
     Algorithm 2 files).
     """
 
-    __slots__ = ("n", "rank", "out", "inn", "rev_out", "rev_in")
+    __slots__ = ("n", "rank", "out", "inn", "rev_out", "rev_in", "_touched")
 
     def __init__(self, rank: Sequence[int]) -> None:
         self.n = len(rank)
@@ -73,6 +73,25 @@ class DirectedLabelState:
         # rev_out[u][x] mirrors out[x][u]; rev_in[v][y] mirrors inn[y][v].
         self.rev_out: list[dict[int, EntryValue]] = [{} for _ in range(self.n)]
         self.rev_in: list[dict[int, EntryValue]] = [{} for _ in range(self.n)]
+        self._touched: tuple[set[int], set[int]] | None = None
+
+    def track_touched(
+        self, sets: tuple[set[int], set[int]] | None = None
+    ) -> tuple[set[int], set[int]]:
+        """Start recording which vertices' labels change.
+
+        Returns ``(out_owners, in_owners)`` — from now on every
+        mutation adds the vertex whose ``Lout`` / ``Lin`` it changed.
+        The dynamic-update index drains these sets into the
+        :class:`LabelDelta` it hands to the serving stores.  ``sets``
+        lets a caller re-attach existing sets (e.g. after swapping the
+        state underneath an index).
+        """
+        if sets is not None:
+            self._touched = sets
+        elif self._touched is None:
+            self._touched = (set(), set())
+        return self._touched
 
     # -- entry bookkeeping --------------------------------------------
     def is_out_pair(self, a: int, b: int) -> bool:
@@ -91,18 +110,26 @@ class DirectedLabelState:
         if self.rank[b] < self.rank[a]:
             self.out[a][b] = value
             self.rev_out[b][a] = value
+            if self._touched is not None:
+                self._touched[0].add(a)
         else:
             self.inn[b][a] = value
             self.rev_in[a][b] = value
+            if self._touched is not None:
+                self._touched[1].add(b)
 
     def remove_pair(self, a: int, b: int) -> None:
         """Delete the entry for ``a -> b`` (must exist)."""
         if self.rank[b] < self.rank[a]:
             del self.out[a][b]
             del self.rev_out[b][a]
+            if self._touched is not None:
+                self._touched[0].add(a)
         else:
             del self.inn[b][a]
             del self.rev_in[a][b]
+            if self._touched is not None:
+                self._touched[1].add(b)
 
     # -- pruning probe -------------------------------------------------
     def two_hop_bound(self, a: int, b: int, exclude_pivot: int = -1) -> float:
@@ -180,7 +207,7 @@ class UndirectedLabelState:
     ``owner`` as a pivot.
     """
 
-    __slots__ = ("n", "rank", "lab", "rev")
+    __slots__ = ("n", "rank", "lab", "rev", "_touched")
 
     def __init__(self, rank: Sequence[int]) -> None:
         self.n = len(rank)
@@ -189,6 +216,21 @@ class UndirectedLabelState:
             {v: (0.0, 0)} for v in range(self.n)
         ]
         self.rev: list[dict[int, EntryValue]] = [{} for _ in range(self.n)]
+        self._touched: tuple[set[int], set[int]] | None = None
+
+    def track_touched(
+        self, sets: tuple[set[int], set[int]] | None = None
+    ) -> tuple[set[int], set[int]]:
+        """Start recording which vertices' labels change.
+
+        Same contract as :meth:`DirectedLabelState.track_touched`;
+        the single undirected store only ever fills the first set.
+        """
+        if sets is not None:
+            self._touched = sets
+        elif self._touched is None:
+            self._touched = (set(), set())
+        return self._touched
 
     def owner_pivot(self, a: int, b: int) -> tuple[int, int]:
         """Normalize an unordered pair to ``(owner, pivot)`` by rank."""
@@ -207,12 +249,16 @@ class UndirectedLabelState:
         value = (dist, hops)
         self.lab[owner][pivot] = value
         self.rev[pivot][owner] = value
+        if self._touched is not None:
+            self._touched[0].add(owner)
 
     def remove_pair(self, a: int, b: int) -> None:
         """Delete the entry for ``{a, b}`` (must exist)."""
         owner, pivot = self.owner_pivot(a, b)
         del self.lab[owner][pivot]
         del self.rev[pivot][owner]
+        if self._touched is not None:
+            self._touched[0].add(owner)
 
     def two_hop_bound(self, a: int, b: int, exclude_pivot: int = -1) -> float:
         """Best ``d1 + d2`` over common pivots of ``L(a)`` and ``L(b)``."""
@@ -313,6 +359,50 @@ class LabelStore(Protocol):
     def save(self, path) -> None:
         """Persist the store to disk (atomically)."""
         ...
+
+
+@dataclass
+class LabelDelta:
+    """Per-vertex label replacements produced by an incremental update.
+
+    The unit of change flowing from a mutated label set to the serving
+    stores: ``out[v]`` (and ``inn[v]`` on directed indexes) is the
+    *complete* replacement label of vertex ``v`` — ``(pivot, dist)``
+    pairs sorted by pivot id with the trivial ``(v, 0.0)`` self entry
+    included, exactly the shape :meth:`LabelStore.out_label` serves.
+    For undirected deltas ``inn`` **aliases** ``out`` (the Section 7
+    single-store aliasing), mirroring the stores themselves.
+
+    Produced by
+    :meth:`repro.core.dynamic.DynamicHopDoublingIndex.pop_label_delta`
+    and consumed by ``apply_updates`` on the flat, quantized, and
+    sharded stores (which stage the slices as a query-time overlay)
+    and on the oracle facades (which also invalidate derived caches).
+    """
+
+    n: int
+    directed: bool
+    out: dict[int, list[tuple[int, float]]]
+    inn: dict[int, list[tuple[int, float]]]
+
+    @classmethod
+    def empty(cls, n: int, directed: bool) -> "LabelDelta":
+        out: dict[int, list[tuple[int, float]]] = {}
+        return cls(n, directed, out, {} if directed else out)
+
+    def __bool__(self) -> bool:
+        return bool(self.out) or bool(self.inn)
+
+    def __len__(self) -> int:
+        """Number of per-vertex label slices carried."""
+        count = len(self.out)
+        if self.directed:
+            count += len(self.inn)
+        return count
+
+    def vertices(self) -> set[int]:
+        """Every vertex whose label this delta replaces."""
+        return set(self.out) | set(self.inn)
 
 
 @dataclass(frozen=True)

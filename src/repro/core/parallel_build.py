@@ -166,7 +166,7 @@ class ParallelBuildEngine(ArrayBuildEngine):
             batches = [CandidateBatch(n, *f.result()) for f in futures]
             return CandidateBatch.concatenate(batches)
 
-        snapshot = self.state.label_snapshot()
+        snapshot = self.state.doubling_snapshot(prev)
         if self._fork_ctx is None:
             # No fork: ship the snapshot with each chunk task (spawn
             # would re-import the module and lose any global).

@@ -111,6 +111,33 @@ def admit_and_prune(
     )
 
 
+def admit_entries(
+    state: DirectedLabelState | UndirectedLabelState,
+    entries: list[PrevEntry],
+) -> list[PrevEntry]:
+    """Admit pre-staged ``(a, b, dist, hops)`` entries; return the admitted.
+
+    The admission half of :func:`admit_and_prune` for entries that are
+    *facts* rather than rule candidates — the unit-hop entries of
+    inserted edges.  Each entry is staged when the pair is absent or
+    its distance strictly improves, and is never pruned here: a
+    dominated edge entry is harmless (its distance is a real path
+    length) and the repair rounds it seeds still run.  The returned
+    list is the repair frontier.  The array twin is
+    :meth:`repro.core.arraystate.ArrayLabelState.admit`, which applies
+    the identical rule, so both dynamic repair engines stage the same
+    seeds.
+    """
+    staged: list[PrevEntry] = []
+    for a, b, dist, hops in entries:
+        existing = state.get_pair(a, b)
+        if existing is not None and existing[0] <= dist:
+            continue
+        state.set_pair(a, b, dist, hops)
+        staged.append((a, b, dist, hops))
+    return staged
+
+
 def admit_and_prune_arrays(state, batch, prune: bool = True):
     """Array-engine twin of :func:`admit_and_prune`.
 
@@ -129,7 +156,28 @@ def admit_and_prune_arrays(state, batch, prune: bool = True):
     raw = batch.raw
     a, b, dist, hops = batch.dedupe()
     distinct = int(a.size)
-    admitted_mask = state.admit(a, b, dist, hops)
+    if not prune:
+        admitted_mask = state.admit(a, b, dist, hops)
+        a, b, dist, hops = (
+            a[admitted_mask],
+            b[admitted_mask],
+            dist[admitted_mask],
+            hops[admitted_mask],
+        )
+        return PrevBlock(a, b, dist, hops), PruneOutcome(
+            raw_generated=raw,
+            distinct_generated=distinct,
+            admitted=int(a.size),
+            pruned=0,
+        )
+
+    # Same two-pass snapshot semantics as admit_and_prune — bounds see
+    # every staged candidate, removals land together — but admission
+    # is *deferred*: candidates stage in small per-side overlays that
+    # prunable joins alongside the base arrays, and only the survivors
+    # are merged in (state.commit_staged), so the doomed majority of a
+    # round never touches the O(index) base arrays.
+    admitted_mask = state.stage(a, b, dist, hops)
     a, b, dist, hops = (
         a[admitted_mask],
         b[admitted_mask],
@@ -137,18 +185,8 @@ def admit_and_prune_arrays(state, batch, prune: bool = True):
         hops[admitted_mask],
     )
     admitted = int(a.size)
-    if not prune:
-        return PrevBlock(a, b, dist, hops), PruneOutcome(
-            raw_generated=raw,
-            distinct_generated=distinct,
-            admitted=admitted,
-            pruned=0,
-        )
-
-    # Same two-pass snapshot semantics as admit_and_prune: bounds see
-    # every staged candidate, removals are applied together.
     doomed = state.prunable(a, b, dist)
-    state.remove(a[doomed], b[doomed])
+    state.commit_staged(a, b, dist, hops, doomed)
     keep = ~doomed
     survivors = PrevBlock(a[keep], b[keep], dist[keep], hops[keep])
     return survivors, PruneOutcome(

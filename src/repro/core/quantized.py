@@ -137,9 +137,14 @@ class QuantizedLabelStore(FlatLabelStore):
         from the index "diameter" (the largest finite label distance),
         falling back to raw ``f64`` when any distance is fractional or
         beyond 16 bits; the pivot width from the largest delta.
+        Staged updates on the source are folded in first.
         """
         if isinstance(store, QuantizedLabelStore):
+            if store.has_pending_updates:
+                return store.merged()
             return store
+        if store.has_pending_updates:
+            store = store.merged()
         sides = [(store.out_offsets, store.out_pivots, store.out_dists)]
         if store.directed:
             sides.append((store.in_offsets, store.in_pivots, store.in_dists))
@@ -204,8 +209,24 @@ class QuantizedLabelStore(FlatLabelStore):
             pivot_width=pivot_width, dist_width=dist_width,
         )
 
+    def merged(self) -> "QuantizedLabelStore":
+        """Fold the staged overlay in, re-choosing the encoding widths.
+
+        Updates can move the maxima the widths were chosen from (a
+        longer distance, a larger pivot delta), so the merged arrays
+        are re-encoded through :meth:`from_flat` rather than patched.
+        """
+        if not self.has_pending_updates:
+            return self
+        return QuantizedLabelStore.from_flat(super().merged())
+
     def to_flat(self) -> FlatLabelStore:
-        """Expand back into a v2-layout :class:`FlatLabelStore`."""
+        """Expand back into a v2-layout :class:`FlatLabelStore`.
+
+        Staged updates are folded in (the expansion decodes the base
+        arrays directly, which an overlay would otherwise bypass)."""
+        if self.has_pending_updates:
+            return self.merged().to_flat()
 
         def unpack(offsets, pivots, dists):
             f_off = array("q", offsets)
@@ -239,6 +260,10 @@ class QuantizedLabelStore(FlatLabelStore):
     # -- LabelStore accessors ------------------------------------------------
     def out_label(self, v: int) -> list[tuple[int, float]]:
         """``Lout(v)`` as a fresh (pivot, dist) list, sorted by pivot."""
+        if self._delta_out:
+            staged = self._delta_out.get(v)
+            if staged is not None:
+                return list(zip(staged[0], staged[1]))
         piv, dst = _decode_slice(
             self.out_pivots, self.out_dists,
             self.out_offsets[v], self.out_offsets[v + 1],
@@ -247,6 +272,10 @@ class QuantizedLabelStore(FlatLabelStore):
 
     def in_label(self, v: int) -> list[tuple[int, float]]:
         """``Lin(v)`` as a fresh (pivot, dist) list, sorted by pivot."""
+        if self._delta_in:
+            staged = self._delta_in.get(v)
+            if staged is not None:
+                return list(zip(staged[0], staged[1]))
         piv, dst = _decode_slice(
             self.in_pivots, self.in_dists,
             self.in_offsets[v], self.in_offsets[v + 1],
@@ -255,7 +284,14 @@ class QuantizedLabelStore(FlatLabelStore):
 
     # -- slice views (shared with the sharded store's query paths) -----------
     def out_slice(self, v: int):
-        """``(pivots, dists, lo, hi)`` of ``Lout(v)``, decoded."""
+        """``(pivots, dists, lo, hi)`` of ``Lout(v)``, decoded.
+
+        Vertices with a staged update serve their overlay arrays
+        directly — no decode needed (they are stored absolute)."""
+        if self._delta_out:
+            staged = self._delta_out.get(v)
+            if staged is not None:
+                return staged[0], staged[1], 0, len(staged[0])
         piv, dst = _decode_slice(
             self.out_pivots, self.out_dists,
             self.out_offsets[v], self.out_offsets[v + 1],
@@ -264,6 +300,10 @@ class QuantizedLabelStore(FlatLabelStore):
 
     def in_slice(self, v: int):
         """``(pivots, dists, lo, hi)`` of ``Lin(v)``, decoded."""
+        if self._delta_in:
+            staged = self._delta_in.get(v)
+            if staged is not None:
+                return staged[0], staged[1], 0, len(staged[0])
         piv, dst = _decode_slice(
             self.in_pivots, self.in_dists,
             self.in_offsets[v], self.in_offsets[v + 1],
@@ -313,7 +353,13 @@ class QuantizedLabelStore(FlatLabelStore):
 
     # -- serialization -------------------------------------------------------
     def save(self, path) -> None:
-        """Write binary format v3 atomically (temp file + rename)."""
+        """Write binary format v3 atomically (temp file + rename).
+
+        Staged updates are folded in (and the widths re-chosen) first,
+        so the file always holds the merged labels."""
+        if self.has_pending_updates:
+            self.merged().save(path)
+            return
         flags = 1 if self.directed else 0
         has_rank = 1 if self.rank is not None else 0
         out_count = len(self.out_pivots)

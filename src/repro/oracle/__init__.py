@@ -28,7 +28,12 @@ Quick start::
 from repro.oracle.batch import KERNEL_MODES, evaluate_batch, read_pair_file
 from repro.oracle.cache import CacheInfo, LRUCache
 from repro.oracle.oracle import DEFAULT_CACHE_SIZE, DistanceOracle
-from repro.oracle.parallel import DEFAULT_MIN_PARALLEL_BATCH, ParallelOracle
+from repro.oracle.parallel import (
+    DEFAULT_INLINE_ENTRIES,
+    DEFAULT_MIN_PARALLEL_BATCH,
+    ROUTE_MODES,
+    ParallelOracle,
+)
 from repro.oracle.sharding import (
     ShardedLabelStore,
     ShardError,
@@ -42,8 +47,10 @@ __all__ = [
     "ShardedLabelStore",
     "ShardError",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_INLINE_ENTRIES",
     "DEFAULT_MIN_PARALLEL_BATCH",
     "KERNEL_MODES",
+    "ROUTE_MODES",
     "LRUCache",
     "CacheInfo",
     "evaluate_batch",

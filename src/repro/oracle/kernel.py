@@ -163,13 +163,20 @@ def _sides(store: FlatLabelStore, base: int) -> tuple[_Side, _Side]:
         return cached[1], cached[2]
     from repro.core.quantized import QuantizedLabelStore
 
-    delta = isinstance(store, QuantizedLabelStore)
+    src = store
+    if store.has_pending_updates:
+        # Fold staged updates into fresh arrays once; apply_updates
+        # drops this cache, so the fold cost is paid per update batch,
+        # not per query batch.  The merged arrays stay alive through
+        # the cache tuple's _Side views.
+        src = store.merged()
+    delta = isinstance(src, QuantizedLabelStore)
     out = _build_side(
-        store.out_offsets, store.out_pivots, store.out_dists, delta, base
+        src.out_offsets, src.out_pivots, src.out_dists, delta, base
     )
-    if store.directed:
+    if src.directed:
         inn = _build_side(
-            store.in_offsets, store.in_pivots, store.in_dists, delta, base
+            src.in_offsets, src.in_pivots, src.in_dists, delta, base
         )
     else:
         inn = out

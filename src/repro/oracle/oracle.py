@@ -178,6 +178,40 @@ class DistanceOracle:
         """Distances from every vertex to ``t``."""
         return self._inverted_index().distances_to(t)
 
+    # -- mutation ------------------------------------------------------------
+    def apply_updates(self, delta) -> int | list[int]:
+        """Apply a :class:`~repro.core.labels.LabelDelta` to the store.
+
+        Forwards to the backend's ``apply_updates`` (flat / quantized
+        stores stage a query-time overlay; sharded stores route the
+        delta to the owning shards) and then invalidates every derived
+        result — the LRU cache and the inverted k-NN index — so a
+        stale distance can never be served after an update.  Returns
+        whatever the store returns (staged slice count, or affected
+        shard ids).
+        """
+        apply = getattr(self.store, "apply_updates", None)
+        if apply is None:
+            raise TypeError(
+                f"{type(self.store).__name__} does not support incremental "
+                "updates; serve a flat, quantized, or sharded store"
+            )
+        result = apply(delta)
+        self.invalidate()
+        return result
+
+    def invalidate(self) -> None:
+        """Drop every result derived from the store's current labels.
+
+        The LRU result cache and the lazily built inverted k-NN index
+        both memoize label contents, so **every** store-mutating
+        surface must call this; :meth:`apply_updates` does it
+        automatically, and callers that mutate the store directly
+        (swapping arrays, reloading files) must do it themselves.
+        """
+        self.cache.clear()
+        self._inverted = None
+
     # -- monitoring ----------------------------------------------------------
     def cache_info(self) -> CacheInfo:
         """Hit/miss statistics of the result cache."""
@@ -186,8 +220,7 @@ class DistanceOracle:
     def clear_cache(self) -> None:
         """Drop all derived state (e.g. after swapping the store):
         the result cache and the lazily built inverted k-NN index."""
-        self.cache.clear()
-        self._inverted = None
+        self.invalidate()
 
     def close(self) -> None:
         """Release backend resources (the file mapping of an

@@ -47,6 +47,16 @@ from repro.oracle.sharding import ShardedLabelStore
 #: pool dispatch overhead (pickling, wakeups) dominates below it.
 DEFAULT_MIN_PARALLEL_BATCH = 1024
 
+#: Accepted values of the ``route`` knob.
+ROUTE_MODES = ("auto", "inline", "fanout")
+
+#: ``route="auto"`` serves batches inline (single kernel process, no
+#: pool) while the store's total label entries stay at or below this.
+#: A cache-resident index is joined faster by one vectorized kernel
+#: pass than by shipping chunks to workers — ~2M entries is ~24 MB of
+#: key/dist views, comfortably inside a shared L3.
+DEFAULT_INLINE_ENTRIES = 2_000_000
+
 # Per-process serving state for process-pool workers, bound once by
 # _init_worker so repeated chunks pay zero reopen cost.
 _WORKER_STORE: ShardedLabelStore | None = None
@@ -100,6 +110,8 @@ class ParallelOracle(DistanceOracle):
         cache_size: int = DEFAULT_CACHE_SIZE,
         min_parallel_batch: int = DEFAULT_MIN_PARALLEL_BATCH,
         kernel: str = "auto",
+        route: str = "auto",
+        inline_entries: int = DEFAULT_INLINE_ENTRIES,
     ) -> None:
         # Validate configuration before the store load so a bad call
         # never leaks N open shard mappings.
@@ -111,6 +123,10 @@ class ParallelOracle(DistanceOracle):
             raise ValueError(
                 f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
             )
+        if route not in ROUTE_MODES:
+            raise ValueError(
+                f"route must be one of {ROUTE_MODES}, got {route!r}"
+            )
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         store = ShardedLabelStore.load(shard_dir, use_mmap=use_mmap)
@@ -120,6 +136,9 @@ class ParallelOracle(DistanceOracle):
         self.executor_kind = executor
         self.use_mmap = use_mmap
         self.min_parallel_batch = min_parallel_batch
+        self.route = route
+        self.inline_entries = inline_entries
+        self._total_entries: int | None = None
         if workers is None:
             # More workers than shards just contend for the same pages;
             # more workers than cores contend for the same cycles.
@@ -167,15 +186,45 @@ class ParallelOracle(DistanceOracle):
                 future.result()
 
     # -- batched serving -----------------------------------------------------
+    def _serve_inline(self, num_pairs: int) -> bool:
+        """Whether this batch should bypass the pool.
+
+        Inline always wins for small batches and single-worker
+        oracles; it is *forced* while updates are staged but not yet
+        reconciled (the workers' memory-mapped shard files are stale —
+        only the parent's overlay answers correctly).  Otherwise the
+        ``route`` knob decides: ``"inline"`` / ``"fanout"`` pin the
+        path, and ``"auto"`` keeps cache-resident indexes (total
+        entries <= ``inline_entries``) on the parent's kernel, where
+        one vectorized pass beats pool dispatch (the measured
+        crossover behind the knob; see
+        ``benchmarks/test_shard_throughput.py``).
+        """
+        if num_pairs < self.min_parallel_batch or self.workers <= 1:
+            return True
+        if self.store.has_pending_updates:
+            return True
+        if self.route == "inline":
+            return True
+        if self.route == "fanout":
+            return False
+        if not self._kernel_active():
+            return False
+        if self._total_entries is None:
+            self._total_entries = self.store.total_entries(
+                include_trivial=True
+            )
+        return self._total_entries <= self.inline_entries
+
     def query_batch(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
         """Distances for every pair, in input order, evaluated on the pool.
 
         Bit-identical to :meth:`DistanceOracle.query_batch`; batches
-        below ``min_parallel_batch`` (or a single worker) are
-        evaluated inline.
+        below ``min_parallel_batch``, single-worker oracles, and (with
+        ``route="auto"``) cache-resident indexes are evaluated inline.
         """
         pairs = list(pairs)
-        if len(pairs) < self.min_parallel_batch or self.workers <= 1:
+        if self._serve_inline(len(pairs)):
             return super().query_batch(pairs)
 
         chunks = self._chunk_by_shard(pairs)
@@ -271,6 +320,35 @@ class ParallelOracle(DistanceOracle):
             for i in range(0, len(positions), limit):
                 chunks.append(positions[i : i + limit])
         return chunks
+
+    # -- incremental updates -------------------------------------------------
+    def apply_updates(self, delta) -> list[int]:
+        """Stage updates on the parent's sharded store.
+
+        The staged overlay answers immediately and correctly through
+        the parent; batches are served **inline** (never fanned out)
+        until :meth:`reconcile` rewrites the changed shard files,
+        because the worker processes map the on-disk files and would
+        serve pre-update labels.
+        """
+        result = super().apply_updates(delta)
+        self._total_entries = None
+        return result
+
+    def reconcile(self) -> list[int]:
+        """Flush staged updates to the shard directory, refresh workers.
+
+        Rewrites only the dirty shard files (and their manifest
+        checksums) via :meth:`ShardedLabelStore.reconcile`, then shuts
+        the worker pool down so the next fanned-out batch starts fresh
+        workers over the rewritten files.  Returns the rewritten shard
+        ids.
+        """
+        rewritten = self.store.reconcile(self.shard_dir)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        return rewritten
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:

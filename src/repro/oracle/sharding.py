@@ -65,7 +65,20 @@ SHARD_FILE_FORMATS = {
     "v3": "shard-{:04d}.idx3",
 }
 SHARD_FILE_FORMAT = SHARD_FILE_FORMATS["v2"]
-_SHARD_FILE_RE = re.compile(r"^shard-\d{4}\.idx[23]$")
+# Reconcile writes revision-suffixed generations (shard-0007-r3.idx2)
+# next to the canonical save() names; both shapes count as shard files
+# for stale-cleanup sweeps.
+_SHARD_FILE_RE = re.compile(r"^shard-\d{4}(-r\d+)?\.idx[23]$")
+_SHARD_GEN_RE = re.compile(r"^shard-(\d{4})(?:-r(\d+))?\.(idx[23])$")
+
+
+def _next_shard_file(name: str) -> str:
+    """The next revision of a shard file name (format suffix kept)."""
+    match = _SHARD_GEN_RE.match(name)
+    if match is None:
+        raise ShardError(f"unrecognized shard file name {name!r}")
+    rev = int(match.group(2) or 0) + 1
+    return f"shard-{match.group(1)}-r{rev}.{match.group(3)}"
 
 _MANIFEST_FORMAT = "repro-shards"
 _MANIFEST_VERSION = 1
@@ -120,7 +133,7 @@ class ShardedLabelStore:
     labels stay **global**, so cross-shard joins need no translation.
     """
 
-    __slots__ = ("n", "directed", "shards", "ranges", "rank", "_los")
+    __slots__ = ("n", "directed", "shards", "ranges", "rank", "_los", "_dirty")
 
     def __init__(
         self,
@@ -145,6 +158,7 @@ class ShardedLabelStore:
             if shard.directed != self.directed:
                 raise ShardError("shards disagree on directedness")
         self._los = [lo for lo, _ in self.ranges]
+        self._dirty: set[int] = set()
         # Reassemble the global ranking when every shard carries its slice.
         if all(s.rank is not None for s in self.shards):
             rank: list[int] | None = []
@@ -173,14 +187,141 @@ class ShardedLabelStore:
         """
         if isinstance(store, QuantizedLabelStore):
             store = store.to_flat()
-        elif not isinstance(store, FlatLabelStore):
-            if isinstance(store, LabelIndex):
-                store = FlatLabelStore.from_index(store)
-            else:
-                store = _pack_any(store)
+        elif isinstance(store, FlatLabelStore):
+            # Fold any staged updates first: the range slicing below
+            # reads the raw base arrays.
+            store = store.merged()
+        elif isinstance(store, LabelIndex):
+            store = FlatLabelStore.from_index(store)
+        else:
+            store = _pack_any(store)
         ranges = split_ranges(store.n, num_shards)
         shards = [_slice_store(store, lo, hi) for lo, hi in ranges]
         return cls(shards, ranges)
+
+    # -- incremental updates -------------------------------------------------
+    @property
+    def has_pending_updates(self) -> bool:
+        """Whether any shard holds staged updates not yet reconciled."""
+        return bool(self._dirty)
+
+    @property
+    def dirty_shards(self) -> list[int]:
+        """Ids of the shards whose labels changed since the last reconcile."""
+        return sorted(self._dirty)
+
+    def apply_updates(self, delta) -> list[int]:
+        """Stage a :class:`~repro.core.labels.LabelDelta` onto the shards.
+
+        Each carried vertex's replacement label is routed to the shard
+        owning it (vertex ids re-based to the shard's local range;
+        pivot ids are global and pass through untouched) and staged as
+        that shard's query-time overlay.  Only the shards whose vertex
+        ranges contain updated vertices are marked dirty —
+        :meth:`reconcile` later rewrites exactly those files.  Returns
+        the affected shard ids.
+        """
+        from repro.core.labels import LabelDelta
+
+        if delta.n != self.n or delta.directed != self.directed:
+            raise ShardError(
+                f"delta shape (|V|={delta.n}, directed={delta.directed}) "
+                f"does not match store (|V|={self.n}, "
+                f"directed={self.directed})"
+            )
+        per_shard: dict[int, LabelDelta] = {}
+
+        def local_delta(v: int) -> tuple[LabelDelta, int]:
+            i = self.shard_of(v)
+            lo, hi = self.ranges[i]
+            d = per_shard.get(i)
+            if d is None:
+                d = LabelDelta.empty(hi - lo, self.directed)
+                per_shard[i] = d
+            return d, v - lo
+
+        for v, label in delta.out.items():
+            d, local = local_delta(v)
+            d.out[local] = label
+        if self.directed:
+            for v, label in delta.inn.items():
+                d, local = local_delta(v)
+                d.inn[local] = label
+        for i, d in per_shard.items():
+            self.shards[i].apply_updates(d)
+        self._dirty.update(per_shard)
+        return sorted(per_shard)
+
+    def reconcile(self, path) -> list[int]:
+        """Flush staged updates to the shard directory at ``path``.
+
+        Rewrites **only** the shards whose vertex ranges changed (in
+        their manifest-recorded format), refreshes those entries'
+        SHA-256 checksums and entry counts, and leaves every untouched
+        shard file byte-for-byte identical — reconciling an N-shard
+        directory after a localized update costs one shard's worth of
+        IO, not N.  The rewrite is crash-consistent: each changed
+        shard lands in a **new revision file** (``shard-0007-r3.idx2``)
+        first, the manifest then flips to the new generation in one
+        atomic rename, and only afterwards are the replaced files (and
+        any orphans of earlier interrupted runs) removed — a crash at
+        any point leaves a manifest whose named files all exist and
+        checksum clean.  The in-memory store swaps the merged shards
+        in (releasing any stale file mappings), leaving it
+        overlay-free and consistent with the directory.  Returns the
+        rewritten shard ids.
+        """
+        root = Path(path)
+        manifest = load_manifest(root)
+        if (
+            manifest["n"] != self.n
+            or manifest["directed"] != self.directed
+            or len(manifest["shards"]) != len(self.shards)
+        ):
+            raise ShardError(
+                f"{root}: manifest describes a different shard layout; "
+                "reconcile only the directory this store was loaded from"
+            )
+        for entry, (lo, hi) in zip(manifest["shards"], self.ranges):
+            if (entry["lo"], entry["hi"]) != (lo, hi):
+                raise ShardError(
+                    f"{root}: manifest range [{entry['lo']}, {entry['hi']}) "
+                    f"does not match store range [{lo}, {hi})"
+                )
+        rewritten = sorted(self._dirty)
+        for i in rewritten:
+            entry = manifest["shards"][i]
+            merged = self.shards[i].merged()
+            # Match the on-disk per-shard format recorded by save().
+            if entry["file"].endswith(".idx3"):
+                if not isinstance(merged, QuantizedLabelStore):
+                    merged = QuantizedLabelStore.from_flat(merged)
+            elif isinstance(merged, QuantizedLabelStore):
+                merged = merged.to_flat()
+            new_name = _next_shard_file(entry["file"])
+            merged.save(root / new_name)
+            entry["file"] = new_name
+            entry["sha256"] = _sha256_file(root / new_name)
+            entry["entries"] = merged.total_entries(include_trivial=True)
+            stale = self.shards[i]
+            self.shards[i] = merged
+            if stale is not merged:
+                stale.close()
+        payload = json.dumps(manifest, indent=2).encode() + b"\n"
+        with atomic_binary_writer(root / MANIFEST_NAME) as fh:
+            fh.write(payload)
+        # The manifest now owns the new generation; drop the replaced
+        # files and any orphans a previously interrupted reconcile
+        # left behind.
+        live = {entry["file"] for entry in manifest["shards"]}
+        for candidate in root.iterdir():
+            if (
+                _SHARD_FILE_RE.match(candidate.name)
+                and candidate.name not in live
+            ):
+                candidate.unlink()
+        self._dirty.clear()
+        return rewritten
 
     # -- vertex -> shard routing ---------------------------------------------
     def shard_of(self, v: int) -> int:

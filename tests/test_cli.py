@@ -490,3 +490,113 @@ class TestVerify:
         rc = main(["verify", str(other), str(idx)])
         assert rc == 1
         assert "violation" in capsys.readouterr().out
+
+
+class TestUpdate:
+    @pytest.fixture
+    def built(self, graph_file, tmp_path):
+        idx = tmp_path / "g.idx"
+        main(["build", str(graph_file), "-o", str(idx), "--format", "v2"])
+        edges = tmp_path / "new.txt"
+        edges.write_text("0 199\n5 123  # comment\n7 7\n5 123\n")
+        return idx, edges
+
+    def test_update_in_place(self, built, capsys):
+        idx, edges = built
+        capsys.readouterr()
+        rc = main(["update", str(idx), "--edges", str(edges)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "inserted 2 of 4 edges" in out
+        rc = main(["update", str(idx), "--edges", str(edges)])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["query", str(idx), "0", "199"]) == 0
+        assert "dist(0, 199) = 1" in capsys.readouterr().out
+
+    def test_update_to_output_keeps_source(self, built, tmp_path, capsys):
+        idx, edges = built
+        out_idx = tmp_path / "updated.idx"
+        before = idx.read_bytes()
+        rc = main(["update", str(idx), "--edges", str(edges),
+                   "-o", str(out_idx), "--engine", "dict"])
+        assert rc == 0
+        assert idx.read_bytes() == before
+        capsys.readouterr()
+        main(["query", str(out_idx), "0", "199"])
+        assert "dist(0, 199) = 1" in capsys.readouterr().out
+
+    def test_update_v1_index_keeps_format(self, built, tmp_path, capsys):
+        idx, edges = built
+        idx1 = tmp_path / "g1.idx"
+        main(["convert", str(idx), "-o", str(idx1), "--format", "v1"])
+        rc = main(["update", str(idx1), "--edges", str(edges)])
+        assert rc == 0
+        assert idx1.read_bytes()[4] == 1  # still a v1 file
+        capsys.readouterr()
+        main(["query", str(idx1), "0", "199"])
+        assert "dist(0, 199) = 1" in capsys.readouterr().out
+
+    def test_update_v3_index(self, built, tmp_path, capsys):
+        idx, edges = built
+        idx3 = tmp_path / "g.idx3"
+        main(["convert", str(idx), "-o", str(idx3), "--format", "v3"])
+        capsys.readouterr()
+        rc = main(["update", str(idx3), "--edges", str(edges)])
+        assert rc == 0
+        main(["query", str(idx3), "0", "199"])
+        assert "dist(0, 199) = 1" in capsys.readouterr().out
+
+    def test_update_shard_directory_in_place(self, built, tmp_path, capsys):
+        idx, edges = built
+        shards = tmp_path / "shards"
+        main(["shard", str(idx), "-o", str(shards), "--shards", "3"])
+        capsys.readouterr()
+        rc = main(["update", str(shards), "--edges", str(edges)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reconciled" in out
+        main(["query", "--shards", str(shards), "--workers", "1",
+              "0", "199"])
+        assert "dist(0, 199) = 1" in capsys.readouterr().out
+
+    def test_update_index_plus_shards(self, built, tmp_path, capsys):
+        idx, edges = built
+        shards = tmp_path / "shards"
+        main(["shard", str(idx), "-o", str(shards), "--shards", "3"])
+        capsys.readouterr()
+        rc = main(["update", str(idx), "--edges", str(edges),
+                   "--shards", str(shards)])
+        assert rc == 0
+        assert "reconciled" in capsys.readouterr().out
+
+    def test_update_errors(self, built, tmp_path, capsys):
+        idx, edges = built
+        rc = main(["update", str(idx), "--edges", str(tmp_path / "no.txt")])
+        assert rc == 2
+        capsys.readouterr()
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2 3 4\n")
+        rc = main(["update", str(idx), "--edges", str(bad)])
+        assert rc == 2
+        assert "expected 'u v [w]'" in capsys.readouterr().err
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing\n")
+        rc = main(["update", str(idx), "--edges", str(empty)])
+        assert rc == 2
+        assert "no edges" in capsys.readouterr().err
+        out_of_range = tmp_path / "oor.txt"
+        out_of_range.write_text("0 100000\n")
+        rc = main(["update", str(idx), "--edges", str(out_of_range)])
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_update_shard_dir_refuses_output(self, built, tmp_path, capsys):
+        idx, edges = built
+        shards = tmp_path / "shards"
+        main(["shard", str(idx), "-o", str(shards), "--shards", "2"])
+        capsys.readouterr()
+        rc = main(["update", str(shards), "--edges", str(edges),
+                   "-o", str(tmp_path / "x.idx")])
+        assert rc == 2
+        assert "in place" in capsys.readouterr().err
