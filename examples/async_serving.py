@@ -1,0 +1,137 @@
+"""Network serving: the asyncio frontend with admission batching.
+
+Run with::
+
+    python examples/async_serving.py
+
+Starts a :class:`DistanceServer` over a built index and drives it two
+ways over real TCP connections: the naive protocol (one pair per
+request, each awaited before the next is sent) and a fleet of
+concurrent clients submitting multi-pair query sets.  The admission
+batcher coalesces the concurrent requests into a handful of kernel
+passes — the server-side counters printed at the end show how many
+batches actually hit the kernel, and every answer is checked
+bit-identical against a direct oracle query.
+"""
+
+import asyncio
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro import DistanceOracle, HopDoublingIndex
+from repro.graphs import glp_graph
+from repro.serve import DistanceClient, DistanceServer
+
+NUM_CLIENTS = 32
+PAIRS_PER_REQUEST = 16
+REQUESTS_PER_CLIENT = 8
+SEQUENTIAL_PAIRS = 400
+
+
+def workload(n: int, count: int, seed: int = 11):
+    rng = random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+async def sequential_round_trips(host, port, pairs):
+    """One pair per request, awaited one at a time — the naive client."""
+    client = await DistanceClient.connect(host, port)
+    try:
+        t0 = time.perf_counter()
+        answers = []
+        for pair in pairs:
+            answers.extend(await client.query([pair]))
+        return answers, time.perf_counter() - t0
+    finally:
+        await client.aclose()
+
+
+async def concurrent_clients(host, port, requests):
+    """Many connections in flight at once; the batcher coalesces them."""
+
+    async def drive(my_requests):
+        client = await DistanceClient.connect(host, port)
+        try:
+            out = []
+            for req in my_requests:
+                out.append(await client.query(req))
+            return out
+        finally:
+            await client.aclose()
+
+    t0 = time.perf_counter()
+    per_client = await asyncio.gather(
+        *(drive(requests[i::NUM_CLIENTS]) for i in range(NUM_CLIENTS))
+    )
+    elapsed = time.perf_counter() - t0
+    answers = []
+    for i in range(NUM_CLIENTS):
+        for chunk in per_client[i]:
+            answers.append(chunk)
+    return per_client, elapsed
+
+
+async def serve_demo(oracle):
+    server = DistanceServer(oracle, max_wait=0.002)
+    host, port = await server.start()
+    print(f"serving on {host}:{port}")
+    try:
+        pairs = workload(oracle.n, SEQUENTIAL_PAIRS)
+        answers, seq_dt = await sequential_round_trips(host, port, pairs)
+        print(
+            f"sequential 1-pair round trips: "
+            f"{len(pairs) / seq_dt:>8,.0f} pairs/s"
+        )
+        for (s, t), d in zip(pairs, answers):
+            assert d == oracle.query(s, t)
+
+        total = NUM_CLIENTS * REQUESTS_PER_CLIENT * PAIRS_PER_REQUEST
+        stream = workload(oracle.n, total, seed=12)
+        requests = [
+            stream[k : k + PAIRS_PER_REQUEST]
+            for k in range(0, total, PAIRS_PER_REQUEST)
+        ]
+        per_client, conc_dt = await concurrent_clients(host, port, requests)
+        print(
+            f"{NUM_CLIENTS} concurrent clients, "
+            f"{PAIRS_PER_REQUEST}-pair requests: "
+            f"{total / conc_dt:>8,.0f} pairs/s"
+        )
+        for i in range(NUM_CLIENTS):
+            for req, got in zip(requests[i::NUM_CLIENTS], per_client[i]):
+                assert got == [oracle.query(s, t) for s, t in req]
+        print("all served answers bit-identical to direct oracle queries")
+
+        client = await DistanceClient.connect(host, port)
+        stats = (await client.stats())["batcher"]
+        await client.aclose()
+        served = stats["pairs_served"]
+        batches = stats["batches_dispatched"]
+        print(
+            f"server counters: {served:,} pairs in {batches} kernel "
+            f"batches (largest {stats['max_batch_seen']} pairs) — "
+            f"{served / batches:,.0f} pairs per kernel pass"
+        )
+    finally:
+        await server.aclose()
+
+
+def main() -> None:
+    graph = glp_graph(3_000, seed=17)
+    index = HopDoublingIndex.build(graph)
+    print(f"built {index.labels!r}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "serving.idx2"
+        index.save(path, format="v2")
+        oracle = DistanceOracle.open(path, use_mmap=True)
+        asyncio.run(serve_demo(oracle))
+        # Release the mapping before the tempdir is deleted (required
+        # on Windows, where a mapped file cannot be removed).
+        oracle.close()
+
+
+if __name__ == "__main__":
+    main()

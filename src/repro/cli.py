@@ -13,11 +13,16 @@ Subcommands::
     repro convert INDEX -o OUTPUT [--format {v1,v2,v3}] [--stats]
                                [--force]
     repro shard INDEX -o DIR [--shards N] [--format {v2,v3}] [--force]
+    repro serve INDEX|DIR [--host H] [--port P] [--workers N]
+                               [--max-batch PAIRS] [--max-wait-ms MS]
+                               [--max-pending PAIRS]
+                               [--kernel {auto,on,off}]
     repro update INDEX --edges FILE [-o OUT] [--shards DIR]
                                [--engine {auto,array,dict}]
     repro stats GRAPH [--directed] [--weighted]
     repro generate MODEL -n N -o GRAPH [--density D] [--seed K]
-    repro verify GRAPH INDEX [--samples N]
+                               [--directed]
+    repro verify GRAPH INDEX [--directed] [--weighted] [--samples N]
     repro bench {table6,table7,table8,figure8,figure9,figure10,
                  assumptions,all}
 
@@ -35,7 +40,11 @@ their manifest checksums refreshed.  Queries are served through the
 :class:`~repro.oracle.DistanceOracle` facade; ``--batch FILE``
 evaluates one ``s t`` pair per line with the vectorized numpy kernel
 when available (``--kernel`` pins the choice) and grouped merge joins
-otherwise.
+otherwise.  ``repro serve`` runs the asyncio distance server of
+:mod:`repro.serve` over an index file or shard directory: concurrent
+clients' requests coalesce into kernel batches under an admission
+window, and multi-worker serving fans batches out over forked workers
+sharing the label arrays (see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
@@ -458,6 +467,92 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.core.flatstore import load_store
+    from repro.oracle import DistanceOracle, ShardedLabelStore
+    from repro.oracle import kernel as kernel_mod
+    from repro.serve import DistanceServer, SharedMemoryFanout, fanout_available
+
+    try:
+        if os.path.isdir(args.index):
+            store = ShardedLabelStore.load(args.index, use_mmap=True)
+        else:
+            store = load_store(args.index, prefer_flat=True, use_mmap=True)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    if workers < 1:
+        print(f"error: --workers must be >= 1, got {workers}", file=sys.stderr)
+        store.close()
+        return 2
+    fanout = None
+    if workers > 1:
+        if (
+            args.kernel != "off"
+            and fanout_available()
+            and kernel_mod.supports(store)
+        ):
+            fanout = SharedMemoryFanout(
+                store,
+                workers=workers,
+                capacity=max(args.max_batch, 1 << 14),
+            )
+            # Fork the workers before the event loop (and its thread
+            # pool) exists — the quiescent-parent moment.
+            fanout.warmup()
+        else:
+            print(
+                "warning: shared-memory fan-out unavailable (needs numpy, "
+                "the 'fork' start method, and --kernel != off); serving "
+                "on the inline kernel instead",
+                file=sys.stderr,
+            )
+    backend = fanout if fanout is not None else DistanceOracle(
+        store, cache_size=0, kernel=args.kernel
+    )
+    server = DistanceServer(
+        backend,
+        host=args.host,
+        port=args.port,
+        max_batch_pairs=args.max_batch,
+        max_wait=args.max_wait_ms / 1000.0,
+        max_pending_pairs=args.max_pending,
+    )
+
+    async def run() -> None:
+        host, port = await server.start()
+        mode = (
+            f"{workers} shm workers" if fanout is not None
+            else "inline evaluation"
+        )
+        print(
+            f"serving {args.index} on {host}:{port} ({mode}, "
+            f"batch <= {args.max_batch} pairs, "
+            f"wait <= {args.max_wait_ms:g} ms)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        if fanout is not None:
+            fanout.close()
+        else:
+            backend.close()
+        store.close()
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = read_edge_list(
         args.graph, directed=args.directed, weighted=args.weighted
@@ -561,18 +656,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy",
         choices=["hybrid", "stepping", "doubling"],
         default="hybrid",
+        help="hop-growth schedule (default: hybrid — stepping until the "
+        "frontier flattens, then doubling)",
     )
     p.add_argument(
         "--ranking",
         choices=["auto", "degree", "inout", "random", "betweenness"],
         default="auto",
+        help="vertex importance order used for pruning (default: auto)",
     )
     p.add_argument(
         "--format",
         choices=["v1", "v2", "v3"],
         default="v1",
-        help="index file format (v2 = flat-array blobs, v3 = compact "
-        "quantized arrays)",
+        help="index file format (default: v1 per-entry structs; v2 = "
+        "flat-array blobs, v3 = compact quantized arrays)",
     )
     p.add_argument(
         "--engine",
@@ -701,6 +799,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_shard)
 
     p = sub.add_parser(
+        "serve",
+        help="serve distance queries over asyncio TCP (JSON lines)",
+    )
+    p.add_argument(
+        "index",
+        help="index file from `repro build`, or a `repro shard` directory",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default: 0 = pick a free port and print it)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shared-memory fan-out workers (default: all cores; 1 "
+        "serves inline with no fork)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=8192,
+        metavar="PAIRS",
+        help="admission window: dispatch a coalesced batch at this many "
+        "pairs (default: 8192)",
+    )
+    p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="admission window: longest wait for batch companions while "
+        "traffic keeps arriving (default: 2.0; a lone request never "
+        "waits)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=262144,
+        metavar="PAIRS",
+        help="backpressure high-water mark: reject requests (code 429) "
+        "past this many admitted-but-unanswered pairs (default: 262144)",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="vectorized numpy batch evaluation (default: auto — used "
+        "when numpy and a flat/quantized backend are available)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
         "update",
         help="insert edges into a built index (incremental label repair)",
     )
@@ -745,8 +904,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model", choices=["glp", "ba", "er"])
     p.add_argument("-n", type=int, required=True, help="number of vertices")
     p.add_argument("-o", "--output", required=True)
-    p.add_argument("--density", type=float, default=10.0, help="|E|/|V|")
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--density",
+        type=float,
+        default=10.0,
+        help="target edge density |E|/|V| (default: 10)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed (default: 0)")
     p.add_argument("--directed", action="store_true")
     p.set_defaults(func=_cmd_generate)
 
@@ -760,7 +924,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--directed", action="store_true")
     p.add_argument("--weighted", action="store_true")
-    p.add_argument("--samples", type=int, default=500)
+    p.add_argument(
+        "--samples",
+        type=int,
+        default=500,
+        help="random pairs checked against exact search (default: 500)",
+    )
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("bench", help="regenerate a paper table or figure")

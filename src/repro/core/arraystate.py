@@ -162,6 +162,7 @@ class SideArrays:
 
     @classmethod
     def empty(cls, n: int) -> "SideArrays":
+        """A side with no entries over an ``n``-vertex id space."""
         return cls(
             n,
             np.zeros(0, np.int64),
@@ -268,6 +269,12 @@ class EdgeSnapshot:
 
     @classmethod
     def from_graph(cls, graph: Graph, rank: np.ndarray) -> "EdgeSnapshot":
+        """Pack a graph's adjacency into the rank-keyed CSR views.
+
+        Built once per index construction (the edges never change);
+        ``rank`` is the vertex importance order the rule filters
+        compare against.
+        """
         n = graph.num_vertices
         src: list[int] = []
         tgt: list[int] = []

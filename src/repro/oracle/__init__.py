@@ -10,7 +10,9 @@ one-to-all, and k-NN on top.
 For indexes too big (or traffic too heavy) for one process, the store
 can be range-partitioned into a shard directory and served by a worker
 pool instead (:mod:`repro.oracle.sharding` /
-:mod:`repro.oracle.parallel`).
+:mod:`repro.oracle.parallel`); fanned-out batches default to the
+shared-memory transport of :mod:`repro.serve.shm`, and the asyncio
+request frontend lives one layer up in :mod:`repro.serve`.
 
 Quick start::
 
@@ -32,11 +34,13 @@ from repro.oracle.parallel import (
     DEFAULT_INLINE_ENTRIES,
     DEFAULT_MIN_PARALLEL_BATCH,
     ROUTE_MODES,
+    TRANSPORT_MODES,
     ParallelOracle,
 )
 from repro.oracle.sharding import (
     ShardedLabelStore,
     ShardError,
+    load_balanced_ranges,
     load_manifest,
     split_ranges,
 )
@@ -51,9 +55,11 @@ __all__ = [
     "DEFAULT_MIN_PARALLEL_BATCH",
     "KERNEL_MODES",
     "ROUTE_MODES",
+    "TRANSPORT_MODES",
     "LRUCache",
     "CacheInfo",
     "evaluate_batch",
+    "load_balanced_ranges",
     "load_manifest",
     "read_pair_file",
     "split_ranges",

@@ -130,6 +130,12 @@ def _as_np(buf):
 
 
 def _build_side(offsets_buf, pivots_buf, dists_buf, delta: bool, base: int):
+    """Pack one side's CSR buffers into a keyed :class:`_Side` view.
+
+    ``delta=True`` decodes v3 per-label pivot deltas to absolute ids
+    vectorized (one cumsum + one repeat), so quantized stores feed the
+    same join paths without a scalar decode pass.
+    """
     offsets = _as_np(offsets_buf).astype(np.int64, copy=False)
     lens = np.diff(offsets)
     piv = _as_np(pivots_buf)
@@ -182,6 +188,27 @@ def _sides(store: FlatLabelStore, base: int) -> tuple[_Side, _Side]:
         inn = out
     store._np = (base, out, inn)
     return out, inn
+
+
+def ensure_sides(store) -> None:
+    """Build (and cache) the packed key views for ``store`` now.
+
+    Serving frontends call this before forking worker processes: the
+    views land on the store (``store._np``) in pages the children then
+    inherit copy-on-write, so every worker joins against one physical
+    copy of the label arrays instead of rebuilding its own (see
+    :mod:`repro.serve.shm`).  A sharded store warms every shard with
+    the global key base.  No-op when :func:`supports` is false.
+    """
+    if not supports(store):
+        return
+    from repro.oracle.sharding import ShardedLabelStore
+
+    if isinstance(store, ShardedLabelStore):
+        for shard in store.shards:
+            _sides(shard, store.n)
+    else:
+        _sides(store, store.n)
 
 
 def _expand(side: _Side, T):

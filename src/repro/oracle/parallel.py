@@ -29,6 +29,18 @@ Small batches are not worth a round trip through the pool; below
 LRU cache, like any oracle).  The parallel path bypasses the parent's
 result cache: shipping cache state between processes would cost more
 than the merge joins it saves.
+
+Fanned-out batches ride one of two **transports**.  The default
+(``transport="auto"``) is the shared-memory fan-out of
+:mod:`repro.serve.shm`: workers are *forked* after the parent builds
+the kernel's packed key views, so they share the label arrays
+copy-on-write, and pair/result buffers live in shared mmaps — nothing
+is pickled per batch.  Where that cannot run (no numpy, no ``fork``
+start method) or with ``transport="pickle"``, the original
+chunk-pickling pool takes over; answers are bit-identical either way.
+The shm transport also records per-shard hit counts
+(:attr:`ParallelOracle.shard_hits`) feeding the load-adaptive
+rebalance hook.
 """
 
 from __future__ import annotations
@@ -49,6 +61,11 @@ DEFAULT_MIN_PARALLEL_BATCH = 1024
 
 #: Accepted values of the ``route`` knob.
 ROUTE_MODES = ("auto", "inline", "fanout")
+
+#: Accepted values of the ``transport`` knob: ``auto`` prefers the
+#: shared-memory fan-out and falls back to chunk pickling; ``shm`` and
+#: ``pickle`` pin one transport (``shm`` raises where unavailable).
+TRANSPORT_MODES = ("auto", "shm", "pickle")
 
 #: ``route="auto"`` serves batches inline (single kernel process, no
 #: pool) while the store's total label entries stay at or below this.
@@ -112,6 +129,7 @@ class ParallelOracle(DistanceOracle):
         kernel: str = "auto",
         route: str = "auto",
         inline_entries: int = DEFAULT_INLINE_ENTRIES,
+        transport: str = "auto",
     ) -> None:
         # Validate configuration before the store load so a bad call
         # never leaks N open shard mappings.
@@ -127,6 +145,11 @@ class ParallelOracle(DistanceOracle):
             raise ValueError(
                 f"route must be one of {ROUTE_MODES}, got {route!r}"
             )
+        if transport not in TRANSPORT_MODES:
+            raise ValueError(
+                f"transport must be one of {TRANSPORT_MODES}, "
+                f"got {transport!r}"
+            )
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         store = ShardedLabelStore.load(shard_dir, use_mmap=use_mmap)
@@ -138,6 +161,8 @@ class ParallelOracle(DistanceOracle):
         self.min_parallel_batch = min_parallel_batch
         self.route = route
         self.inline_entries = inline_entries
+        self.transport = transport
+        self._shm = None
         self._total_entries: int | None = None
         if workers is None:
             # More workers than shards just contend for the same pages;
@@ -174,6 +199,9 @@ class ParallelOracle(DistanceOracle):
         nothing to warm.
         """
         if self.workers <= 1:
+            return
+        if self._use_shm():
+            self._ensure_shm().warmup()
             return
         pool = self._ensure_pool()
         if self.executor_kind == "process":
@@ -227,6 +255,8 @@ class ParallelOracle(DistanceOracle):
         if self._serve_inline(len(pairs)):
             return super().query_batch(pairs)
 
+        if self._use_shm():
+            return self._ensure_shm().query_batch(pairs)
         chunks = self._chunk_by_shard(pairs)
         pool = self._ensure_pool()
         if self._kernel_active():
@@ -262,6 +292,60 @@ class ParallelOracle(DistanceOracle):
         from repro.oracle import kernel as _kernel
 
         return _kernel.supports(self.store)
+
+    # -- shared-memory transport ---------------------------------------------
+    def _use_shm(self) -> bool:
+        """Whether fanned-out batches ride the shared-memory transport.
+
+        Process pools only (a thread pool already shares everything),
+        kernel-form batches only, and never with ``transport="pickle"``.
+        ``transport="shm"`` raises where fork/numpy are missing instead
+        of silently serving slower.
+        """
+        if self.transport == "pickle" or self.executor_kind != "process":
+            return False
+        if not self._kernel_active():
+            if self.transport == "shm":
+                raise ValueError(
+                    "transport='shm' needs the batch kernel "
+                    "(numpy installed and kernel != 'off')"
+                )
+            return False
+        from repro.serve.shm import available
+
+        if not available():
+            if self.transport == "shm":
+                from repro.serve.shm import FanoutUnavailableError
+
+                raise FanoutUnavailableError(
+                    "transport='shm' needs numpy and the 'fork' "
+                    "start method"
+                )
+            return False
+        return True
+
+    def _ensure_shm(self):
+        if self._shm is None:
+            from repro.serve.shm import SharedMemoryFanout
+
+            self._shm = SharedMemoryFanout(self.store, workers=self.workers)
+        return self._shm
+
+    def _close_shm(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    @property
+    def shard_hits(self) -> list[int] | None:
+        """Per-shard hit counts the shm transport recorded (else None).
+
+        The raw signal behind
+        :meth:`repro.serve.shm.SharedMemoryFanout.rebalance`.
+        """
+        return (
+            self._shm.shard_hits.tolist() if self._shm is not None else None
+        )
 
     def _fan_out_arrays(self, pairs, chunks, pool) -> list[float]:
         """Fan the batch out as numpy array chunks (the kernel path).
@@ -348,6 +432,9 @@ class ParallelOracle(DistanceOracle):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        # The shm workers inherited the pre-update shards at fork time;
+        # drop them so the next batch forks over the merged arrays.
+        self._close_shm()
         return rewritten
 
     # -- lifecycle -----------------------------------------------------------
@@ -356,6 +443,7 @@ class ParallelOracle(DistanceOracle):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._close_shm()
         super().close()
 
     def __enter__(self) -> "ParallelOracle":

@@ -1,0 +1,51 @@
+"""The serving tier: async request coalescing + shared-memory fan-out.
+
+The paper's end product is an *interactive* distance service over
+scale-free networks; this package is the layer that turns the batch
+kernel into one:
+
+* :mod:`repro.serve.batcher` — the :class:`AdmissionBatcher`
+  coalesces concurrent per-request query sets into kernel-sized
+  batches under an admission window (max batch size + max wait) and
+  applies backpressure past a pending-pairs high-water mark;
+* :mod:`repro.serve.server` — :class:`DistanceServer` and
+  :class:`DistanceClient` speak a newline-delimited JSON protocol
+  over asyncio TCP (``repro serve`` on the CLI);
+* :mod:`repro.serve.shm` — :class:`SharedMemoryFanout` evaluates
+  batches on forked workers that share the label arrays and the
+  kernel's packed key views copy-on-write, with queries and results
+  in shared mmap buffers: nothing is pickled per batch, so fan-out
+  scales with cores instead of losing to the inline kernel.
+
+Every path through this package returns answers bit-identical to
+``store.query`` per pair — the serving tier adds scheduling, never
+arithmetic.
+"""
+
+from repro.serve.batcher import (
+    AdmissionBatcher,
+    ServeClosedError,
+    ServeOverloadedError,
+)
+from repro.serve.server import (
+    DistanceClient,
+    DistanceServer,
+    ServerError,
+)
+from repro.serve.shm import (
+    FanoutUnavailableError,
+    SharedMemoryFanout,
+)
+from repro.serve.shm import available as fanout_available
+
+__all__ = (
+    "AdmissionBatcher",
+    "DistanceClient",
+    "DistanceServer",
+    "FanoutUnavailableError",
+    "ServeClosedError",
+    "ServeOverloadedError",
+    "ServerError",
+    "SharedMemoryFanout",
+    "fanout_available",
+)

@@ -1,0 +1,102 @@
+"""The documentation is executable: run its snippets, check its links.
+
+Every fenced ```python block in README.md and docs/*.md is executed,
+in file order, in one shared namespace per file (so a later snippet
+may build on an earlier one, exactly as a reader works through the
+page) with the working directory pointed at a temp dir (snippets may
+write index files).  ```console blocks are shell transcripts and are
+not executed.
+
+Relative markdown links must point at files that exist, and
+same-file ``#anchor`` links must match a heading.  External URLs are
+not fetched (CI must not depend on the network).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda p: p.name,
+)
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.S)
+# [text](target) — excluding images and in-line code spans.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.M)
+
+
+def _doc_id(path: Path) -> str:
+    return str(path.relative_to(REPO_ROOT))
+
+
+def _python_blocks(path: Path) -> list[tuple[int, str]]:
+    """(starting line, source) of every ```python fence in the file."""
+    text = path.read_text(encoding="utf-8")
+    blocks = []
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start(1)) + 1
+        blocks.append((line, match.group(1)))
+    return blocks
+
+
+def _github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (enough for ASCII docs)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_python_snippets_execute(doc, tmp_path, monkeypatch):
+    blocks = _python_blocks(doc)
+    if not blocks:
+        pytest.skip(f"{doc.name}: no python snippets")
+    monkeypatch.chdir(tmp_path)
+    namespace: dict = {}
+    for line, source in blocks:
+        code = compile(source, f"{_doc_id(doc)}:{line}", "exec")
+        exec(code, namespace)  # noqa: S102 - executing our own docs
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_relative_links_resolve(doc):
+    text = doc.read_text(encoding="utf-8")
+    anchors = {_github_anchor(h) for h in _HEADING.findall(text)}
+    problems = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                problems.append(f"missing anchor {target!r}")
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            problems.append(f"broken link {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            other = resolved.read_text(encoding="utf-8")
+            other_anchors = {
+                _github_anchor(h) for h in _HEADING.findall(other)
+            }
+            if fragment not in other_anchors:
+                problems.append(f"missing anchor {target!r}")
+    assert not problems, f"{_doc_id(doc)}: " + "; ".join(problems)
+
+
+def test_every_doc_is_linked_from_readme():
+    """docs/*.md files must be discoverable from the README."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for doc in (REPO_ROOT / "docs").glob("*.md"):
+        assert f"docs/{doc.name}" in readme, (
+            f"{doc.name} exists but README.md never links it"
+        )

@@ -22,6 +22,7 @@ EXAMPLES = [
     "batch_serving.py",
     "sharded_serving.py",
     "parallel_build.py",
+    "async_serving.py",
 ]
 
 

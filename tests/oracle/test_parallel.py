@@ -100,6 +100,54 @@ def test_invalid_configuration_rejected(shard_dir):
         ParallelOracle(shard_dir, executor="greenlet")
     with pytest.raises(ValueError, match="workers"):
         ParallelOracle(shard_dir, workers=0)
+    with pytest.raises(ValueError, match="transport"):
+        ParallelOracle(shard_dir, transport="carrier-pigeon")
+
+
+def test_shm_transport_matches_pickle_transport(shard_dir, expected):
+    pytest.importorskip("numpy")
+    from repro.serve import shm
+
+    if not shm.available():
+        pytest.skip("shared-memory fan-out unavailable (no fork)")
+    pairs, want = expected
+    with ParallelOracle(
+        shard_dir, workers=2, route="fanout", min_parallel_batch=1
+    ) as oracle:
+        assert oracle.query_batch(pairs) == want
+        # The default transport engaged shm and recorded routing hits.
+        assert oracle._shm is not None
+        assert sum(oracle.shard_hits) == len(pairs)
+    with ParallelOracle(
+        shard_dir, workers=2, route="fanout", min_parallel_batch=1,
+        transport="pickle",
+    ) as oracle:
+        assert oracle.query_batch(pairs) == want
+        assert oracle._shm is None
+        assert oracle.shard_hits is None
+
+
+def test_shm_transport_survives_update_reconcile(shard_dir, flat, expected):
+    pytest.importorskip("numpy")
+    from repro.core.labels import LabelDelta
+    from repro.serve import shm
+
+    if not shm.available():
+        pytest.skip("shared-memory fan-out unavailable (no fork)")
+    pairs, want = expected
+    with ParallelOracle(
+        shard_dir, workers=2, route="fanout", min_parallel_batch=1
+    ) as oracle:
+        assert oracle.query_batch(pairs) == want
+        delta = LabelDelta.empty(flat.n, flat.directed)
+        delta.out[5] = list(flat.out_label(5))
+        oracle.apply_updates(delta)
+        # Staged updates force inline; the stale forked workers are
+        # dropped at reconcile and the next fan-out re-forks fresh.
+        assert oracle.query_batch(pairs) == want
+        oracle.reconcile()
+        assert oracle._shm is None
+        assert oracle.query_batch(pairs) == want
 
 
 def test_default_workers_bounded_by_shards(shard_dir):

@@ -1,0 +1,166 @@
+"""Shared-memory fan-out: bit-identity, routing, and the rebalance hook."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.baselines.pll import build_pll  # noqa: E402
+from repro.bench.workloads import random_pairs  # noqa: E402
+from repro.core.flatstore import FlatLabelStore  # noqa: E402
+from repro.core.quantized import QuantizedLabelStore  # noqa: E402
+from repro.graphs.generators import ba_graph  # noqa: E402
+from repro.oracle import ShardedLabelStore  # noqa: E402
+from repro.oracle.sharding import load_balanced_ranges  # noqa: E402
+from repro.serve import shm  # noqa: E402
+from repro.serve.shm import (  # noqa: E402
+    FanoutUnavailableError,
+    SharedMemoryFanout,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(), reason="needs numpy and the fork start method"
+)
+
+
+@pytest.fixture(scope="module")
+def flat():
+    graph = ba_graph(500, m=2, seed=29)
+    index, _ = build_pll(graph)
+    return FlatLabelStore.from_index(index)
+
+
+@pytest.fixture(scope="module")
+def expected(flat):
+    pairs = random_pairs(flat.n, 800, seed=31)
+    return pairs, [flat.query(s, t) for s, t in pairs]
+
+
+@pytest.mark.parametrize("num_shards", [1, 3])
+def test_sharded_bit_identity(flat, expected, num_shards):
+    pairs, want = expected
+    store = ShardedLabelStore.split(flat, num_shards)
+    with SharedMemoryFanout(store, workers=2) as fanout:
+        assert fanout.query_batch(pairs) == want
+
+
+def test_flat_store_bit_identity(flat, expected):
+    pairs, want = expected
+    with SharedMemoryFanout(flat, workers=2) as fanout:
+        assert fanout.query_batch(pairs) == want
+
+
+def test_quantized_store_bit_identity(flat, expected):
+    pairs, want = expected
+    store = QuantizedLabelStore.from_flat(flat)
+    with SharedMemoryFanout(store, workers=2) as fanout:
+        assert fanout.query_batch(pairs) == want
+
+
+def test_duplicates_self_pairs_and_order(flat):
+    pairs = [(5, 300), (300, 5), (5, 300), (7, 7), (499, 0), (5, 300)]
+    want = [flat.query(s, t) for s, t in pairs]
+    store = ShardedLabelStore.split(flat, 3)
+    with SharedMemoryFanout(store, workers=3) as fanout:
+        assert fanout.query_batch(pairs) == want
+
+
+def test_buffer_growth_preserves_answers(flat, expected):
+    pairs, want = expected
+    with SharedMemoryFanout(flat, workers=2, capacity=16) as fanout:
+        assert fanout.query_batch(pairs) == want
+        assert fanout.stats()["capacity"] >= len(pairs)
+        # And the regrown buffers still serve.
+        assert fanout.query_batch(pairs[:50]) == want[:50]
+
+
+def test_hit_counts_accumulate_per_source_shard(flat):
+    store = ShardedLabelStore.split(flat, 2)
+    mid = store.ranges[0][1]
+    with SharedMemoryFanout(store, workers=2) as fanout:
+        fanout.query_batch([(0, 5)] * 7)        # sources in shard 0
+        fanout.query_batch([(mid, 5)] * 3)      # sources in shard 1
+        assert fanout.shard_hits.tolist() == [7, 3]
+        stats = fanout.stats()
+        assert stats["pairs_served"] == 10
+        assert stats["batches_served"] == 2
+
+
+def test_rebalance_shrinks_hot_range(flat, expected):
+    pairs, want = expected
+    store = ShardedLabelStore.split(flat, 3)
+    with SharedMemoryFanout(store, workers=2) as fanout:
+        # Hammer shard 0 so its range carries most of the load.
+        fanout.query_batch([(1, 400)] * 900)
+        fanout.query_batch(pairs)
+        old_width = store.ranges[0][1] - store.ranges[0][0]
+        new_store = fanout.rebalance()
+        assert new_store.ranges[0][1] - new_store.ranges[0][0] < old_width
+        assert fanout.shard_hits.tolist() == [0, 0, 0]
+        # Answers are unchanged across the re-split.
+        assert fanout.query_batch(pairs) == want
+        new_store.close()
+
+
+def test_rebalance_requires_sharded_store(flat):
+    with SharedMemoryFanout(flat, workers=1) as fanout:
+        with pytest.raises(FanoutUnavailableError, match="Sharded"):
+            fanout.rebalance_ranges()
+
+
+def test_out_of_range_raises_before_dispatch(flat):
+    with SharedMemoryFanout(flat, workers=2) as fanout:
+        with pytest.raises(IndexError):
+            fanout.query_batch([(0, 1), (0, 10_000)])
+        assert fanout.stats()["pairs_served"] == 0
+
+
+def test_pending_updates_refused(flat):
+    from repro.core.labels import LabelDelta
+
+    store = ShardedLabelStore.split(flat, 2)
+    delta = LabelDelta.empty(store.n, store.directed)
+    delta.out[3] = list(store.out_label(3))
+    store.apply_updates(delta)
+    with pytest.raises(FanoutUnavailableError, match="staged updates"):
+        SharedMemoryFanout(store, workers=1)
+
+
+def test_close_is_idempotent(flat):
+    fanout = SharedMemoryFanout(flat, workers=1)
+    fanout.query_batch([(0, 1)])
+    fanout.close()
+    fanout.close()
+
+
+def test_empty_batch(flat):
+    with SharedMemoryFanout(flat, workers=1) as fanout:
+        assert fanout.query_batch([]) == []
+
+
+def test_invalid_configuration_rejected(flat):
+    with pytest.raises(ValueError, match="workers"):
+        SharedMemoryFanout(flat, workers=0)
+    with pytest.raises(ValueError, match="capacity"):
+        SharedMemoryFanout(flat, capacity=0)
+
+
+def test_warmup_then_serve(flat, expected):
+    pairs, want = expected
+    with SharedMemoryFanout(flat, workers=2) as fanout:
+        fanout.warmup()
+        assert fanout.query_batch(pairs) == want
+
+
+def test_load_balanced_ranges_properties():
+    ranges = [(0, 100), (100, 200), (200, 300)]
+    # All load on the first range: it shrinks, cold ranges coalesce.
+    out = load_balanced_ranges(ranges, [300, 0, 0], 3)
+    assert out[0] == (0, 34) or out[0][1] < 100
+    assert out[-1][1] == 300
+    assert all(hi > lo for lo, hi in out)
+    # Zero load degrades to the equal split.
+    assert load_balanced_ranges(ranges, [0, 0, 0], 3) == ranges
+    # Uniform load keeps the equal split.
+    assert load_balanced_ranges(ranges, [10, 10, 10], 3) == ranges
+    # Shard-count changes are allowed.
+    assert len(load_balanced_ranges(ranges, [5, 1, 1], 2)) == 2
